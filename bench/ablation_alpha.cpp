@@ -1,0 +1,40 @@
+// Ablation: sensitivity to the congestion exponent alpha of Algorithm 2
+// (d(e) = exp(alpha f(e)/c(e)) - 1). The paper does not report its
+// constants; this sweep documents how the calibrated default was chosen:
+// smaller alpha means more, finer injections (a higher-resolution metric)
+// at slightly higher metric-computation cost.
+#include "bench_common.hpp"
+#include "core/htp_flow.hpp"
+
+int main(int argc, char** argv) {
+  using namespace htp;
+  const bench::Options options = bench::ParseArgs(argc, argv);
+  bench::PrintHeader("ABLATION", "flow-injection congestion exponent alpha",
+                     options);
+
+  const std::vector<double> sweep =
+      options.quick ? std::vector<double>{0.05, 0.35}
+                    : std::vector<double>{0.01, 0.05, 0.15, 0.35};
+  for (const char* name : {"c1355", "c2670"}) {
+    Hypergraph hg = MakeIscas85Like(name, options.seed);
+    const HierarchySpec spec = FullBinaryHierarchy(hg.total_size());
+    std::printf("%-8s", name);
+    for (double alpha : sweep) {
+      HtpFlowParams params;
+      params.iterations = 2;
+      params.injection.alpha = alpha;
+      params.seed = options.seed;
+      double cost = 0;
+      std::size_t injections = 0;
+      const double secs = bench::TimeSeconds([&] {
+        const HtpFlowResult r = RunHtpFlow(hg, spec, params);
+        cost = r.cost;
+        injections = r.iterations[0].injections;
+      });
+      std::printf("  a=%.2f: %5.0f (%zu inj, %.1fs)", alpha, cost, injections,
+                  secs);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

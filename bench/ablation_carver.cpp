@@ -1,0 +1,38 @@
+// Ablation: find_cut implementations inside FLOW.
+//
+// The conclusion suggests that "more sophisticated algorithms, such as the
+// one in a recent paper by Karger, may also be applied to find a minimum
+// cut from a minimum spanning tree". This bench compares the paper's
+// Prim-prefix find_cut against the Karger-style 1-respecting MST-split
+// carver (core/mst_carver.hpp) under otherwise identical FLOW settings.
+#include "bench_common.hpp"
+#include "core/htp_flow.hpp"
+
+int main(int argc, char** argv) {
+  using namespace htp;
+  const bench::Options options = bench::ParseArgs(argc, argv);
+  bench::PrintHeader("ABLATION",
+                     "find_cut: Prim prefix (paper) vs MST split (Karger "
+                     "future work)",
+                     options);
+  std::printf("%-8s %12s %12s %12s %12s\n", "circuit", "prim-prefix",
+              "mst-split", "prim(s)", "mst(s)");
+  for (const auto& [name, hg] : bench::LoadSuite(options)) {
+    const HierarchySpec spec = FullBinaryHierarchy(hg.total_size());
+    double cost[2];
+    double secs[2];
+    const CarverKind kinds[2] = {CarverKind::kPrimPrefix,
+                                 CarverKind::kMstSplit};
+    for (int i = 0; i < 2; ++i) {
+      HtpFlowParams params;
+      params.iterations = options.quick ? 1 : 2;
+      params.carver = kinds[i];
+      params.seed = options.seed;
+      secs[i] = bench::TimeSeconds(
+          [&] { cost[i] = RunHtpFlow(hg, spec, params).cost; });
+    }
+    std::printf("%-8s %12.0f %12.0f %12.2f %12.2f\n", name.c_str(), cost[0],
+                cost[1], secs[0], secs[1]);
+  }
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Ablation: cost vs the number N of Algorithm-1 iterations.
+//
+// "Since both steps use some random processes, they can be iterated to find
+// a best solution" (Section 3). This sweep quantifies how much the
+// best-of-N outer loop buys on two circuits of different character (a
+// Rent-style circuit and the c6288-like multiplier).
+#include "bench_common.hpp"
+#include "core/htp_flow.hpp"
+
+int main(int argc, char** argv) {
+  using namespace htp;
+  const bench::Options options = bench::ParseArgs(argc, argv);
+  bench::PrintHeader("ABLATION", "FLOW cost vs iteration count N", options);
+
+  const std::vector<std::size_t> sweep =
+      options.quick ? std::vector<std::size_t>{1, 4}
+                    : std::vector<std::size_t>{1, 2, 4, 8};
+  for (const char* name : {"c1355", "c2670"}) {
+    Hypergraph hg = MakeIscas85Like(name, options.seed);
+    const HierarchySpec spec = FullBinaryHierarchy(hg.total_size());
+    std::printf("%-8s", name);
+    for (std::size_t n : sweep) {
+      HtpFlowParams params;
+      params.iterations = n;
+      params.seed = options.seed;
+      double cost = 0;
+      const double secs =
+          bench::TimeSeconds([&] { cost = RunHtpFlow(hg, spec, params).cost; });
+      std::printf("  N=%zu: %5.0f (%.1fs)", n, cost, secs);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Ablation: multiple constructions per spreading metric.
+//
+// The paper's conclusion: "we may improve the results from constructing
+// multiple partitions for the same spreading metric without a significant
+// increase on the run time." This sweep holds the metric count fixed
+// (N = 2) and varies constructions_per_metric, reporting cost and runtime —
+// the runtime claim holds whenever metric computation dominates.
+#include "bench_common.hpp"
+#include "core/htp_flow.hpp"
+
+int main(int argc, char** argv) {
+  using namespace htp;
+  const bench::Options options = bench::ParseArgs(argc, argv);
+  bench::PrintHeader(
+      "ABLATION",
+      "constructions per metric (paper conclusion, future work)", options);
+
+  const std::vector<std::size_t> sweep =
+      options.quick ? std::vector<std::size_t>{1, 4}
+                    : std::vector<std::size_t>{1, 2, 4, 8};
+  for (const char* name : {"c1355", "c2670"}) {
+    Hypergraph hg = MakeIscas85Like(name, options.seed);
+    const HierarchySpec spec = FullBinaryHierarchy(hg.total_size());
+    std::printf("%-8s", name);
+    for (std::size_t cpm : sweep) {
+      HtpFlowParams params;
+      params.iterations = 2;
+      params.constructions_per_metric = cpm;
+      params.seed = options.seed;
+      double cost = 0;
+      const double secs =
+          bench::TimeSeconds([&] { cost = RunHtpFlow(hg, spec, params).cost; });
+      std::printf("  cpm=%zu: %5.0f (%.1fs)", cpm, cost, secs);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Ablation: global-once vs per-subproblem spreading metrics.
+//
+// The paper's Algorithm 1 computes one global metric and reuses its
+// restriction in every recursive subproblem. On our substrate that
+// restriction misguides lower-level carves — a net cut high in the
+// hierarchy keeps its full multi-level length inside one block — so the
+// default recomputes the metric per subproblem (MetricScope in
+// core/htp_flow.hpp). This ablation quantifies the difference, which is the
+// single largest quality lever in the reproduction (see EXPERIMENTS.md).
+#include "bench_common.hpp"
+#include "core/htp_flow.hpp"
+
+int main(int argc, char** argv) {
+  using namespace htp;
+  const bench::Options options = bench::ParseArgs(argc, argv);
+  bench::PrintHeader("ABLATION",
+                     "metric scope: paper-literal global metric vs "
+                     "per-subproblem recomputation",
+                     options);
+  std::printf("%-8s %14s %14s %12s %12s\n", "circuit", "global-once",
+              "per-subprob", "global(s)", "per-sub(s)");
+
+  for (const auto& [name, hg] : bench::LoadSuite(options)) {
+    const HierarchySpec spec = FullBinaryHierarchy(hg.total_size());
+    double cost[2];
+    double secs[2];
+    const MetricScope scopes[2] = {MetricScope::kGlobalOnce,
+                                   MetricScope::kPerSubproblem};
+    for (int i = 0; i < 2; ++i) {
+      HtpFlowParams params;
+      params.iterations = options.quick ? 1 : 2;
+      params.metric_scope = scopes[i];
+      params.seed = options.seed;
+      secs[i] = bench::TimeSeconds(
+          [&] { cost[i] = RunHtpFlow(hg, spec, params).cost; });
+    }
+    std::printf("%-8s %14.0f %14.0f %12.2f %12.2f\n", name.c_str(), cost[0],
+                cost[1], secs[0], secs[1]);
+  }
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Shared plumbing for the table/figure regeneration harnesses.
+//
+// Every bench prints a self-describing header (what it regenerates, which
+// paper artifact it corresponds to, the seeds used) followed by an aligned
+// text table, so `for b in build/bench/*; do $b; done` produces a readable
+// report. Flags:
+//   --quick            smaller circuit set / fewer iterations
+//   --seed <u64>       master seed (default 1997)
+//   --bench-dir <dir>  load real ISCAS85 .bench files named <circuit>.bench
+//                      from <dir> instead of the calibrated generators
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "netlist/bench_parser.hpp"
+#include "netlist/generators.hpp"
+
+namespace htp::bench {
+
+struct Options {
+  bool quick = false;
+  std::uint64_t seed = 1997;
+  std::size_t trials = 1;  ///< independent seeds averaged by some benches
+  std::string bench_dir;
+};
+
+inline Options ParseArgs(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      options.quick = true;
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      options.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--trials") == 0 && i + 1 < argc) {
+      options.trials =
+          std::max<std::size_t>(1, std::strtoull(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--bench-dir") == 0 && i + 1 < argc) {
+      options.bench_dir = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "unknown argument '%s' (supported: --quick, --seed N, "
+                   "--trials N, --bench-dir DIR)\n",
+                   argv[i]);
+      std::exit(2);
+    }
+  }
+  return options;
+}
+
+/// The circuits of Tables 1-3, loaded from real .bench files when
+/// --bench-dir is given, synthesized otherwise. --quick keeps the two
+/// smallest plus the multiplier.
+inline std::vector<std::pair<std::string, Hypergraph>> LoadSuite(
+    const Options& options) {
+  std::vector<std::pair<std::string, Hypergraph>> suite;
+  for (const SuiteEntry& entry : Iscas85Suite()) {
+    if (options.quick && entry.name != "c1355" && entry.name != "c2670" &&
+        entry.name != "c6288")
+      continue;
+    if (!options.bench_dir.empty()) {
+      suite.emplace_back(
+          entry.name,
+          ParseBenchFile(options.bench_dir + "/" + entry.name + ".bench").hg);
+    } else {
+      suite.emplace_back(entry.name, MakeIscas85Like(entry.name, options.seed));
+    }
+  }
+  return suite;
+}
+
+/// Wall-clock seconds of a callable's execution.
+template <typename Fn>
+double TimeSeconds(Fn&& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+inline void PrintHeader(const char* artifact, const char* description,
+                        const Options& options) {
+  std::printf("==============================================================="
+              "=================\n");
+  std::printf("%s — %s\n", artifact, description);
+  std::printf("source circuits: %s | seed=%llu%s\n",
+              options.bench_dir.empty()
+                  ? "calibrated ISCAS85-like generators (see DESIGN.md)"
+                  : options.bench_dir.c_str(),
+              static_cast<unsigned long long>(options.seed),
+              options.quick ? " | --quick" : "");
+  std::printf("==============================================================="
+              "=================\n");
+}
+
+}  // namespace htp::bench

@@ -1,0 +1,119 @@
+// Micro-benchmarks (google-benchmark) for the kernels whose complexity
+// Section 3.3 analyzes:
+//   * Dijkstra shortest-path trees: O((n + p) log n) per source,
+//   * Prim growth / find_cut: O((n + p) log n) per carve,
+//   * Algorithm 2 (spreading metric): O(b_c log b_d * m (n + p) log n),
+//   * one generalized-FM refinement pass,
+//   * Equation (1) cost evaluation.
+// The _BigO fits below empirically confirm the near-linear scaling in the
+// circuit size (n + p) at fixed hierarchy depth.
+#include <benchmark/benchmark.h>
+
+#include "core/find_cut.hpp"
+#include "core/flow_injection.hpp"
+#include "core/htp_flow.hpp"
+#include "graph/dijkstra.hpp"
+#include "graph/prim.hpp"
+#include "netlist/generators.hpp"
+#include "partition/htp_fm.hpp"
+#include "partition/random_partition.hpp"
+
+namespace {
+
+using namespace htp;
+
+Hypergraph Circuit(std::int64_t gates) {
+  RentCircuitParams params;
+  params.num_gates = static_cast<std::size_t>(gates);
+  params.num_primary_inputs = std::max<std::size_t>(8, gates / 20);
+  params.seed = 7;
+  return RentCircuit(params);
+}
+
+void BM_Dijkstra(benchmark::State& state) {
+  Hypergraph hg = Circuit(state.range(0));
+  std::vector<double> len(hg.num_nets());
+  Rng rng(3);
+  for (double& d : len) d = rng.next_double();
+  NodeId source = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Dijkstra(hg, source, len));
+    source = (source + 17) % hg.num_nodes();
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Dijkstra)->RangeMultiplier(4)->Range(256, 4096)
+    ->Complexity(benchmark::oNLogN);
+
+void BM_PrimGrow(benchmark::State& state) {
+  Hypergraph hg = Circuit(state.range(0));
+  std::vector<double> len(hg.num_nets());
+  Rng rng(3);
+  for (double& d : len) d = rng.next_double();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(GrowPrimTree(hg, 0, len));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_PrimGrow)->RangeMultiplier(4)->Range(256, 4096)
+    ->Complexity(benchmark::oNLogN);
+
+void BM_FindCut(benchmark::State& state) {
+  Hypergraph hg = Circuit(state.range(0));
+  std::vector<double> len(hg.num_nets());
+  Rng lrng(3);
+  for (double& d : len) d = lrng.next_double();
+  Rng rng(5);
+  const double total = hg.total_size();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        MetricFindCut(hg, len, total * 0.4, total * 0.55, rng));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_FindCut)->RangeMultiplier(4)->Range(256, 4096)
+    ->Complexity(benchmark::oNLogN);
+
+void BM_SpreadingMetric(benchmark::State& state) {
+  Hypergraph hg = Circuit(state.range(0));
+  const HierarchySpec spec = FullBinaryHierarchy(hg.total_size(), 3);
+  FlowInjectionParams params;
+  for (auto _ : state) {
+    params.seed += 1;
+    benchmark::DoNotOptimize(ComputeSpreadingMetric(hg, spec, params));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SpreadingMetric)->RangeMultiplier(4)->Range(256, 4096)
+    ->Complexity(benchmark::oNSquared)->Unit(benchmark::kMillisecond);
+
+void BM_HtpFmPass(benchmark::State& state) {
+  Hypergraph hg = Circuit(state.range(0));
+  const HierarchySpec spec = FullBinaryHierarchy(hg.total_size(), 3);
+  Rng rng(11);
+  for (auto _ : state) {
+    state.PauseTiming();
+    TreePartition tp = RandomPartition(hg, spec, rng);
+    HtpFmParams params;
+    params.max_passes = 1;
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(RefineHtpFm(tp, spec, params));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_HtpFmPass)->RangeMultiplier(4)->Range(256, 4096)
+    ->Complexity(benchmark::oNLogN)->Unit(benchmark::kMillisecond);
+
+void BM_PartitionCost(benchmark::State& state) {
+  Hypergraph hg = Circuit(state.range(0));
+  const HierarchySpec spec = FullBinaryHierarchy(hg.total_size(), 3);
+  Rng rng(11);
+  TreePartition tp = RandomPartition(hg, spec, rng);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(PartitionCost(tp, spec));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_PartitionCost)->RangeMultiplier(4)->Range(256, 4096)
+    ->Complexity(benchmark::oN);
+
+}  // namespace
+
+BENCHMARK_MAIN();

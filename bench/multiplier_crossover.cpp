@@ -1,0 +1,52 @@
+// Crossover study: where does FLOW stop winning?
+//
+// Table 2's one FLOW loss is c6288, the array multiplier — a regular grid
+// with no cluster structure for a spreading metric to discover. This bench
+// sweeps the structure axis: array multipliers of growing width (pure
+// grids) against Rent-style circuits of matched size (clustered), showing
+// that the FLOW-vs-RFM outcome flips with the circuit family, not with the
+// circuit size — the mechanism behind the paper's c6288 row.
+#include "bench_common.hpp"
+#include "core/htp_flow.hpp"
+#include "partition/rfm.hpp"
+
+int main(int argc, char** argv) {
+  using namespace htp;
+  const bench::Options options = bench::ParseArgs(argc, argv);
+  bench::PrintHeader("CROSSOVER",
+                     "FLOW vs RFM across circuit structure (grid "
+                     "multipliers vs clustered Rent circuits)",
+                     options);
+  std::printf("%-22s %8s %10s %10s %10s\n", "circuit", "#nodes", "FLOW",
+              "RFM", "FLOW/RFM");
+
+  auto run = [&](const std::string& name, const Hypergraph& hg) {
+    const HierarchySpec spec = FullBinaryHierarchy(hg.total_size(), 3, 0.15);
+    HtpFlowParams fp;
+    fp.iterations = options.quick ? 1 : 2;
+    fp.seed = options.seed;
+    const double flow = RunHtpFlow(hg, spec, fp).cost;
+    RfmParams rp;
+    rp.seed = options.seed;
+    const double rfm = PartitionCost(RunRfm(hg, spec, rp), spec);
+    std::printf("%-22s %8u %10.0f %10.0f %10.2f\n", name.c_str(),
+                hg.num_nodes(), flow, rfm, rfm > 0 ? flow / rfm : 0.0);
+  };
+
+  const std::vector<std::size_t> bits =
+      options.quick ? std::vector<std::size_t>{6, 10}
+                    : std::vector<std::size_t>{6, 8, 10, 12};
+  for (std::size_t b : bits) {
+    Hypergraph mult = ArrayMultiplier(b);
+    run("multiplier " + std::to_string(b) + "x" + std::to_string(b), mult);
+    RentCircuitParams params;
+    params.num_gates = mult.num_nodes();
+    params.num_primary_inputs = std::max<std::size_t>(8, 2 * b);
+    params.seed = options.seed + b;
+    run("rent " + std::to_string(mult.num_nodes()) + " gates",
+        RentCircuit(params));
+  }
+  std::printf("\nexpected shape: FLOW/RFM > 1 on the grids, < 1 on the "
+              "clustered circuits (the c6288 mechanism)\n");
+  return 0;
+}

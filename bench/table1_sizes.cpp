@@ -1,0 +1,23 @@
+// Regenerates TABLE 1 of the paper: "The sizes of the ISCAS85 test cases"
+// (#nodes, #nets, #pins per circuit).
+//
+// The published numeric cells did not survive the scan; the table below
+// reports the statistics of our calibrated stand-in circuits (gate counts
+// match the published ISCAS85 gate counts; see DESIGN.md). Pass
+// --bench-dir to print the statistics of real .bench files instead.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace htp;
+  const bench::Options options = bench::ParseArgs(argc, argv);
+  bench::PrintHeader("TABLE 1", "the sizes of the ISCAS85 test cases",
+                     options);
+  std::printf("%-8s %8s %8s %8s %12s %14s\n", "circuit", "#nodes", "#nets",
+              "#pins", "max net deg", "avg net deg");
+  for (const auto& [name, hg] : bench::LoadSuite(options)) {
+    const HypergraphStats st = ComputeStats(hg);
+    std::printf("%-8s %8zu %8zu %8zu %12zu %14.2f\n", name.c_str(), st.nodes,
+                st.nets, st.pins, st.max_net_degree, st.avg_net_degree);
+  }
+  return 0;
+}

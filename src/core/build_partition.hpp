@@ -1,0 +1,32 @@
+// Algorithm 3: top-down construction of a hierarchical tree partition.
+//
+// Starting from the whole node set, each tree vertex at level l repeatedly
+// carves off a child block of size within [LB..UB] = [s(V)/K_l .. C_{l-1}]
+// using a CarveFn, then recurses on the carved subgraph. The carve function
+// is the only pluggable part: MetricCarver() (Prim over the spreading
+// metric) yields the paper's FLOW construction, FmCarver (in
+// src/partition/) yields the RFM baseline.
+//
+// Robustness extensions over the pseudo-code (documented in DESIGN.md):
+//  * when a whole set already fits one child (s <= C_{l-1}), a single-child
+//    chain descends instead of carving, so leaves always sit at level 0;
+//  * the carve lower bound is raised to s - (children_left - 1) * UB so the
+//    branch bound K_l can always be honored;
+//  * disconnected sets are handled inside the carvers.
+#pragma once
+
+#include "core/find_cut.hpp"
+
+namespace htp {
+
+/// Builds a partition of `hg` with respect to `spec` from a spreading
+/// metric, using `carve` to separate the children of every vertex.
+/// The partition root sits at spec.LevelForSize(total size).
+/// Throws htp::Error when the instance is infeasible (e.g. a single node
+/// larger than C_0).
+TreePartition BuildPartitionTopDown(const Hypergraph& hg,
+                                    const HierarchySpec& spec,
+                                    const SpreadingMetric& metric,
+                                    const CarveFn& carve, Rng& rng);
+
+}  // namespace htp

@@ -1,0 +1,90 @@
+#include "core/cost.hpp"
+
+#include <algorithm>
+
+namespace htp {
+namespace {
+
+// Collects the distinct level-l blocks of a net's pins into `scratch`.
+std::size_t DistinctBlocks(const TreePartition& tp, NetId e, Level l,
+                           std::vector<BlockId>& scratch) {
+  const Hypergraph& hg = tp.hypergraph();
+  scratch.clear();
+  for (NodeId v : hg.pins(e)) scratch.push_back(tp.block_at(v, l));
+  std::sort(scratch.begin(), scratch.end());
+  scratch.erase(std::unique(scratch.begin(), scratch.end()), scratch.end());
+  return scratch.size();
+}
+
+}  // namespace
+
+std::size_t NetSpan(const TreePartition& tp, NetId e, Level l) {
+  std::vector<BlockId> scratch;
+  const std::size_t f = DistinctBlocks(tp, e, l, scratch);
+  return f >= 2 ? f : 0;
+}
+
+double NetCost(const TreePartition& tp, const HierarchySpec& spec, NetId e) {
+  const Hypergraph& hg = tp.hypergraph();
+  std::vector<BlockId> scratch;
+  double cost = 0.0;
+  // Walk levels bottom-up; once a net's pins converge to one block, all
+  // higher levels contribute nothing.
+  for (Level l = 0; l < tp.root_level(); ++l) {
+    const std::size_t f = DistinctBlocks(tp, e, l, scratch);
+    if (f <= 1) break;
+    cost += spec.weight(l) * static_cast<double>(f) * hg.net_capacity(e);
+  }
+  return cost;
+}
+
+double PartitionCost(const TreePartition& tp, const HierarchySpec& spec) {
+  double total = 0.0;
+  for (NetId e = 0; e < tp.hypergraph().num_nets(); ++e)
+    total += NetCost(tp, spec, e);
+  return total;
+}
+
+std::vector<double> PartitionCostByLevel(const TreePartition& tp,
+                                         const HierarchySpec& spec) {
+  const Hypergraph& hg = tp.hypergraph();
+  std::vector<double> by_level(tp.root_level(), 0.0);
+  std::vector<BlockId> scratch;
+  for (NetId e = 0; e < hg.num_nets(); ++e) {
+    for (Level l = 0; l < tp.root_level(); ++l) {
+      const std::size_t f = DistinctBlocks(tp, e, l, scratch);
+      if (f <= 1) break;
+      by_level[l] +=
+          spec.weight(l) * static_cast<double>(f) * hg.net_capacity(e);
+    }
+  }
+  return by_level;
+}
+
+double ConnectivityCost(const TreePartition& tp, Level l) {
+  HTP_CHECK(l <= tp.root_level());
+  const Hypergraph& hg = tp.hypergraph();
+  std::vector<BlockId> scratch;
+  double total = 0.0;
+  for (NetId e = 0; e < hg.num_nets(); ++e) {
+    const std::size_t lambda = DistinctBlocks(tp, e, l, scratch);
+    if (lambda >= 2)
+      total += static_cast<double>(lambda - 1) * hg.net_capacity(e);
+  }
+  return total;
+}
+
+std::vector<std::size_t> CutNetsByLevel(const TreePartition& tp) {
+  const Hypergraph& hg = tp.hypergraph();
+  std::vector<std::size_t> by_level(tp.root_level(), 0);
+  std::vector<BlockId> scratch;
+  for (NetId e = 0; e < hg.num_nets(); ++e)
+    for (Level l = 0; l < tp.root_level(); ++l) {
+      const std::size_t f = DistinctBlocks(tp, e, l, scratch);
+      if (f <= 1) break;
+      ++by_level[l];
+    }
+  return by_level;
+}
+
+}  // namespace htp

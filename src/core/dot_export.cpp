@@ -1,0 +1,26 @@
+#include "core/dot_export.hpp"
+
+#include <sstream>
+
+namespace htp {
+
+std::string PartitionToDot(const TreePartition& tp,
+                           const HierarchySpec& spec) {
+  const PartitionReport report = ReportPartition(tp, spec);
+  std::ostringstream os;
+  os << "digraph htp_partition {\n";
+  os << "  rankdir=TB;\n  node [shape=box, fontname=\"Helvetica\"];\n";
+  for (const BlockReport& block : report.blocks) {
+    os << "  b" << block.block << " [label=\"L" << block.level << " #"
+       << block.block << "\\n" << block.size << "/" << block.capacity;
+    if (block.level < tp.root_level())
+      os << "\\n" << block.io_pins << " pins";
+    os << "\"];\n";
+  }
+  for (BlockId q = 0; q < tp.num_blocks(); ++q)
+    for (BlockId c : tp.children(q)) os << "  b" << q << " -> b" << c << ";\n";
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace htp

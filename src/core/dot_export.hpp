@@ -1,0 +1,19 @@
+// Graphviz (DOT) rendering of hierarchical tree partitions.
+//
+// `dot -Tsvg` of the output draws the hierarchy with one box per block
+// labelled by level, size/capacity, and I/O pins — the picture Figure 1 of
+// the paper sketches, generated from real partitions.
+#pragma once
+
+#include <string>
+
+#include "core/pin_report.hpp"
+
+namespace htp {
+
+/// DOT source for the partition tree. Blocks become nodes
+/// ("L<level> #<id>\n<size>/<capacity>\n<pins> pins"); edges follow the
+/// hierarchy.
+std::string PartitionToDot(const TreePartition& tp, const HierarchySpec& spec);
+
+}  // namespace htp

@@ -1,0 +1,145 @@
+#include "core/find_cut.hpp"
+
+#include <limits>
+#include <queue>
+
+namespace htp {
+namespace {
+
+// Ties on d(e) are frequent (the flow-injected metric takes few distinct
+// values). Ties are broken by *attraction* — the total capacity of nets
+// already straddling the boundary that contain the candidate (classic
+// maximum-adjacency ordering), which keeps the recorded prefix cuts tight —
+// and then by a per-carve random rank, so different carves of the same
+// metric explore genuinely different prefixes and Algorithm 1's "best of N
+// constructions" has variance to exploit.
+struct QueueEntry {
+  double key;
+  double attraction;  // larger is better
+  std::uint64_t rank;
+  NodeId node;
+  bool operator>(const QueueEntry& other) const {
+    if (key != other.key) return key > other.key;
+    if (attraction != other.attraction) return attraction < other.attraction;
+    if (rank != other.rank) return rank > other.rank;
+    return node > other.node;
+  }
+};
+
+}  // namespace
+
+CarveResult MetricFindCut(const Hypergraph& hg,
+                          std::span<const double> net_length, double lb,
+                          double ub, Rng& rng) {
+  HTP_CHECK(net_length.size() == hg.num_nets());
+  HTP_CHECK(hg.num_nodes() > 0);
+  HTP_CHECK(lb <= ub && ub > 0.0);
+
+  const NodeId n = hg.num_nodes();
+  std::vector<std::uint64_t> rank(n);
+  for (NodeId v = 0; v < n; ++v) rank[v] = rng.next_u64();
+  std::vector<char> in_set(n, 0);
+  std::vector<double> best_key(n, std::numeric_limits<double>::infinity());
+  std::vector<double> attraction(n, 0.0);
+  std::vector<std::size_t> pins_inside(hg.num_nets(), 0);
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>>
+      queue;
+
+  std::vector<NodeId> order;
+  order.reserve(n);
+  double size = 0.0;
+  double cut = 0.0;
+
+  // Best recorded prefix within the window; fallback prefix = last <= ub.
+  std::size_t best_prefix = 0;
+  double best_cut = std::numeric_limits<double>::infinity();
+  std::size_t fallback_prefix = 0;
+
+  NodeId next_seed = static_cast<NodeId>(rng.next_below(n));
+
+  auto add_node = [&](NodeId u) {
+    in_set[u] = 1;
+    order.push_back(u);
+    size += hg.node_size(u);
+    for (NetId e : hg.nets(u)) {
+      std::size_t& inside = ++pins_inside[e];
+      // A net enters the cut with its first inside pin and leaves it once
+      // every pin is inside.
+      if (inside == 1 && hg.net_degree(e) > 1) cut += hg.net_capacity(e);
+      if (inside == hg.net_degree(e)) cut -= hg.net_capacity(e);
+      const double key = net_length[e];
+      const bool first_touch = inside == 1;
+      for (NodeId x : hg.pins(e)) {
+        if (in_set[x]) continue;
+        // attraction[x] = capacity of already-cut nets containing x:
+        // absorbing a high-attraction node tightens the boundary.
+        bool repush = false;
+        if (first_touch) {
+          attraction[x] += hg.net_capacity(e);
+          repush = best_key[x] != std::numeric_limits<double>::infinity();
+        }
+        if (key < best_key[x]) {
+          best_key[x] = key;
+          repush = true;
+        }
+        if (repush)
+          queue.push({best_key[x], attraction[x], rank[x], x});
+      }
+    }
+    if (size <= ub) {
+      fallback_prefix = order.size();
+      if (size >= lb && cut < best_cut) {
+        best_cut = cut;
+        best_prefix = order.size();
+      }
+    }
+  };
+
+  while (size < ub && order.size() < n) {
+    NodeId u = kInvalidNode;
+    while (!queue.empty()) {
+      const QueueEntry top = queue.top();
+      queue.pop();
+      if (!in_set[top.node] && top.key <= best_key[top.node] &&
+          top.attraction >= attraction[top.node]) {
+        u = top.node;
+        break;
+      }
+    }
+    if (u == kInvalidNode) {
+      // Start (or restart after exhausting a component) from a random
+      // unreached node.
+      while (in_set[next_seed]) next_seed = (next_seed + 1) % n;
+      u = next_seed;
+    }
+    add_node(u);
+  }
+
+  CarveResult result;
+  result.in_window = best_prefix > 0;
+  const std::size_t take =
+      result.in_window ? best_prefix : std::max<std::size_t>(fallback_prefix, 1);
+  result.nodes.assign(order.begin(),
+                      order.begin() + static_cast<long>(take));
+
+  // Recompute the reported size and cut for the chosen prefix.
+  result.size = 0.0;
+  for (NodeId v : result.nodes) result.size += hg.node_size(v);
+  std::vector<std::size_t> inside(hg.num_nets(), 0);
+  for (NodeId v : result.nodes)
+    for (NetId e : hg.nets(v)) ++inside[e];
+  result.cut_value = 0.0;
+  for (NetId e = 0; e < hg.num_nets(); ++e)
+    if (inside[e] > 0 && inside[e] < hg.net_degree(e))
+      result.cut_value += hg.net_capacity(e);
+  return result;
+}
+
+CarveFn MetricCarver() {
+  return [](const Hypergraph& hg, std::span<const double> net_length,
+            double lb, double ub, Rng& rng) {
+    return MetricFindCut(hg, net_length, lb, ub, rng);
+  };
+}
+
+}  // namespace htp

@@ -1,0 +1,54 @@
+// Procedure find_cut: carve one block out of a hypergraph.
+//
+// FLOW's find_cut grows a node set from a random start "following Prim's
+// minimum spanning tree algorithm" keyed by the spreading metric d(e),
+// recording the capacity-weighted cut between the grown set and the rest at
+// every step, and returns the recorded prefix with minimum cut among those
+// whose size lies in [LB..UB] (Figure 5).
+//
+// The same interface (CarveFn) is implemented by the FM-based carver in
+// src/partition/ — the single component the paper varies between FLOW and
+// RFM — so Algorithm 3 is shared verbatim by both.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "core/spreading_metric.hpp"
+#include "netlist/rng.hpp"
+
+namespace htp {
+
+/// Result of one carve.
+struct CarveResult {
+  /// Chosen node set V' (ids local to the carved hypergraph).
+  std::vector<NodeId> nodes;
+  /// cut(V', V - V'): total capacity of nets with pins on both sides.
+  double cut_value = 0.0;
+  /// s(V').
+  double size = 0.0;
+  /// True when some recorded prefix satisfied LB <= s <= UB. When false the
+  /// carver returns its best-effort prefix with s <= UB (callers may accept
+  /// it as a final remainder block).
+  bool in_window = false;
+};
+
+/// A carving strategy: pick V' within [lb..ub] minimizing the cut.
+/// `net_length` is the spreading metric restricted to `hg`'s nets (carvers
+/// that do not use a metric may ignore it).
+using CarveFn = std::function<CarveResult(
+    const Hypergraph& hg, std::span<const double> net_length, double lb,
+    double ub, Rng& rng)>;
+
+/// The paper's find_cut: Prim growth under the metric with min-cut prefix
+/// selection. Disconnected remainders are handled by restarting the growth
+/// from a random unreached node (the recorded cut accounting continues).
+CarveResult MetricFindCut(const Hypergraph& hg,
+                          std::span<const double> net_length, double lb,
+                          double ub, Rng& rng);
+
+/// CarveFn adapter for MetricFindCut.
+CarveFn MetricCarver();
+
+}  // namespace htp

@@ -1,0 +1,111 @@
+#include "core/flow_injection.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "netlist/rng.hpp"
+
+namespace htp {
+
+FlowInjectionResult ComputeSpreadingMetric(const Hypergraph& hg,
+                                           const HierarchySpec& spec,
+                                           const FlowInjectionParams& params) {
+  HTP_CHECK(params.epsilon > 0.0);
+  HTP_CHECK(params.alpha > 0.0);
+  HTP_CHECK(params.delta > 0.0);
+  Rng rng(params.seed);
+
+  FlowInjectionResult result;
+  result.flow.assign(hg.num_nets(), params.epsilon);
+  result.metric.assign(hg.num_nets(), 0.0);
+  auto update_length = [&](NetId e) {
+    result.metric[e] =
+        std::exp(params.alpha * result.flow[e] / hg.net_capacity(e)) - 1.0;
+  };
+  for (NetId e = 0; e < hg.num_nets(); ++e) update_length(e);
+
+  // Worklist V' of possibly-violated sources. Lengths only grow, so a node
+  // that passes a full constraint sweep can never become violated again and
+  // leaves the worklist permanently.
+  std::vector<NodeId> worklist(hg.num_nodes());
+  for (NodeId v = 0; v < hg.num_nodes(); ++v) worklist[v] = v;
+
+  while (!worklist.empty() && result.rounds < params.max_rounds) {
+    ++result.rounds;
+    rng.shuffle(worklist);
+    std::vector<NodeId> still_violated;
+    for (NodeId v : worklist) {
+      auto violation =
+          FindViolationFrom(hg, spec, result.metric, v, params.tolerance);
+      if (!violation) continue;  // v's constraints all hold: drop from V'
+      // Steps 2.1.4 / 2.1.5: flood the violating tree and re-penalize.
+      const std::vector<NetId> nets = TreeNets(violation->tree);
+      for (NetId e : nets) {
+        result.flow[e] += params.delta;
+        update_length(e);
+      }
+      ++result.injections;
+      // A tree with no nets (k == 1 with a single oversized node) can never
+      // be repaired by injection; drop the node to guarantee progress.
+      if (!nets.empty()) still_violated.push_back(v);
+    }
+    worklist = std::move(still_violated);
+  }
+
+  result.converged = worklist.empty();
+  result.metric_cost = MetricCost(hg, result.metric);
+  return result;
+}
+
+FlowInjectionResult ComputePairPathSpreadingMetric(
+    const Hypergraph& hg, const HierarchySpec& spec,
+    const FlowInjectionParams& params) {
+  HTP_CHECK(params.epsilon > 0.0);
+  HTP_CHECK(params.alpha > 0.0);
+  HTP_CHECK(params.delta > 0.0);
+  Rng rng(params.seed);
+
+  FlowInjectionResult result;
+  result.flow.assign(hg.num_nets(), params.epsilon);
+  result.metric.assign(hg.num_nets(), 0.0);
+  auto update_length = [&](NetId e) {
+    result.metric[e] =
+        std::exp(params.alpha * result.flow[e] / hg.net_capacity(e)) - 1.0;
+  };
+  for (NetId e = 0; e < hg.num_nets(); ++e) update_length(e);
+
+  std::vector<NodeId> worklist(hg.num_nodes());
+  for (NodeId v = 0; v < hg.num_nodes(); ++v) worklist[v] = v;
+
+  while (!worklist.empty() && result.rounds < params.max_rounds) {
+    ++result.rounds;
+    rng.shuffle(worklist);
+    std::vector<NodeId> still_violated;
+    for (NodeId v : worklist) {
+      auto violation =
+          FindViolationFrom(hg, spec, result.metric, v, params.tolerance);
+      if (!violation) continue;
+      // Pair-path injection: pick a random partner inside the violating
+      // (under-spread) region and flood only the v -> u shortest path.
+      const ShortestPathTree& tree = violation->tree;
+      if (tree.order.size() < 2) continue;  // lone oversized node
+      const NodeId u = tree.order[1 + rng.next_below(tree.order.size() - 1)];
+      for (NodeId x = u; x != v && x != kInvalidNode;
+           x = tree.parent_node[x]) {
+        const NetId e = tree.parent_net[x];
+        if (e == kInvalidNet) break;
+        result.flow[e] += params.delta;
+        update_length(e);
+      }
+      ++result.injections;
+      still_violated.push_back(v);
+    }
+    worklist = std::move(still_violated);
+  }
+
+  result.converged = worklist.empty();
+  result.metric_cost = MetricCost(hg, result.metric);
+  return result;
+}
+
+}  // namespace htp

@@ -1,0 +1,69 @@
+// Algorithm 2: stochastic flow injection for computing spreading metrics.
+//
+// Motivated by the duality between (P1) and a maximum-flow problem over the
+// shortest-path trees S(v,k) (Section 3.1): each edge carries a flow f(e)
+// and an exponential length d(e) = exp(alpha * f(e) / c(e)) - 1. Nodes whose
+// constraints (5) may be violated live in a worklist V'. For each worklist
+// node v (visited in random order), a truncated Dijkstra grows S(v,k) until
+// a constraint is violated or the whole graph is covered; on violation,
+// `delta` units of flow are injected on every net of the violating tree and
+// their lengths re-penalized; otherwise v leaves the worklist for good —
+// lengths only ever grow, so satisfied constraints stay satisfied.
+#pragma once
+
+#include <cstdint>
+
+#include "core/spreading_metric.hpp"
+
+namespace htp {
+
+/// Tunables of Algorithm 2 (paper values for epsilon/alpha/delta are not
+/// reported; defaults were calibrated on the ISCAS85-like suite — see the
+/// ablation benches).
+struct FlowInjectionParams {
+  /// Initial flow on every edge ("a very small amount of flows, epsilon, so
+  /// that its length will be close (but not equal) to 0").
+  double epsilon = 1e-3;
+  /// Congestion exponent in d(e) = exp(alpha f(e) / c(e)) - 1.
+  double alpha = 0.05;
+  /// Flow units injected on each edge of a violating tree (step 2.1.4).
+  double delta = 0.5;
+  /// Absolute tolerance granted to constraint (5) checks.
+  double tolerance = 1e-7;
+  /// Safety cap on passes over the worklist (each pass visits every
+  /// remaining node once, in random order).
+  std::size_t max_rounds = 4000;
+  /// Random seed for the per-round visiting order.
+  std::uint64_t seed = 1;
+};
+
+/// Outcome of Algorithm 2.
+struct FlowInjectionResult {
+  SpreadingMetric metric;        ///< d(e) per net
+  std::vector<double> flow;      ///< f(e) per net
+  std::size_t injections = 0;    ///< number of violating trees flooded
+  std::size_t rounds = 0;        ///< worklist passes executed
+  bool converged = false;        ///< worklist emptied within max_rounds
+  double metric_cost = 0.0;      ///< sum_e c(e) d(e) of the final metric
+};
+
+/// Runs Algorithm 2 and returns the computed spreading metric. The result
+/// is feasible for constraint family (5) whenever `converged` is true.
+FlowInjectionResult ComputeSpreadingMetric(const Hypergraph& hg,
+                                           const HierarchySpec& spec,
+                                           const FlowInjectionParams& params);
+
+/// The predecessor injection style of Lang–Rao [10] and Yeh–Cheng–Lin [17]
+/// ("iteratively adding or rerouting flows on the shortest paths between
+/// randomly selected pairs of nodes", Section 3.1), adapted to the same
+/// termination criterion as Algorithm 2 so the two are directly
+/// comparable: while some source still violates family (5), inject `delta`
+/// flow on the shortest PATH between a random pair instead of on the
+/// violating shortest-path TREE. Converges for the same monotonicity
+/// reason; typically needs many more injections because each one lengthens
+/// only one path. Compared against Algorithm 2 in bench/ablation_injection.
+FlowInjectionResult ComputePairPathSpreadingMetric(
+    const Hypergraph& hg, const HierarchySpec& spec,
+    const FlowInjectionParams& params);
+
+}  // namespace htp

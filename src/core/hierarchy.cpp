@@ -1,0 +1,98 @@
+#include "core/hierarchy.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace htp {
+
+double HierarchySpec::g(double x) const {
+  HTP_CHECK(!levels_.empty());
+  if (x <= levels_[0].capacity) return 0.0;
+  double sum = 0.0;
+  const Level top = root_level();
+  for (Level i = 0; i < top; ++i) {
+    if (x <= levels_[i].capacity) break;
+    sum += (x - levels_[i].capacity) * levels_[i].weight;
+  }
+  return 2.0 * sum;
+}
+
+Level HierarchySpec::LevelForSize(double x) const {
+  for (Level l = 0; l < levels_.size(); ++l)
+    if (x <= levels_[l].capacity) return l;
+  throw Error("total size " + std::to_string(x) +
+              " exceeds the root capacity " +
+              std::to_string(levels_.back().capacity));
+}
+
+double HierarchySpec::AchievableCapacity(Level l, bool integral,
+                                         double granularity) const {
+  HTP_CHECK(granularity > 0.0);
+  auto clip = [integral](double x) { return integral ? std::floor(x) : x; };
+  double cap = clip(levels_[0].capacity);
+  for (Level i = 1; i <= l; ++i) {
+    const double branches = static_cast<double>(levels_[i].max_branches);
+    const double children_cap =
+        integral ? cap * branches
+                 : cap * branches - (branches - 1.0) * granularity;
+    cap = std::min(clip(levels_[i].capacity), children_cap);
+    HTP_CHECK_MSG(cap > 0.0,
+                  "hierarchy capacities too tight for the node granularity");
+  }
+  return cap;
+}
+
+void HierarchySpec::Validate() const {
+  HTP_CHECK_MSG(levels_.size() >= 2, "hierarchy needs at least two levels");
+  for (std::size_t l = 0; l < levels_.size(); ++l) {
+    HTP_CHECK_MSG(levels_[l].capacity > 0.0, "capacities must be positive");
+    HTP_CHECK_MSG(levels_[l].weight >= 0.0, "weights must be nonnegative");
+    if (l > 0) {
+      HTP_CHECK_MSG(levels_[l].capacity >= levels_[l - 1].capacity,
+                    "capacities must be nondecreasing with level");
+      HTP_CHECK_MSG(levels_[l].max_branches >= 2,
+                    "branch bounds above level 0 must be >= 2");
+    }
+  }
+}
+
+std::string HierarchySpec::ToString() const {
+  std::ostringstream os;
+  os << "hierarchy[L=" << root_level();
+  for (std::size_t l = 0; l < levels_.size(); ++l) {
+    os << (l == 0 ? "; " : " | ") << "l" << l << ": C=" << levels_[l].capacity;
+    if (l > 0) os << " K=" << levels_[l].max_branches;
+    if (l + 1 < levels_.size()) os << " w=" << levels_[l].weight;
+  }
+  os << "]";
+  return os.str();
+}
+
+HierarchySpec UniformHierarchy(double total_size, Level height,
+                               std::size_t branching, double slack,
+                               const std::vector<double>& weights) {
+  HTP_CHECK(height >= 1);
+  HTP_CHECK(branching >= 2);
+  HTP_CHECK(slack >= 0.0);
+  HTP_CHECK(weights.size() == height);
+  HTP_CHECK(total_size > 0.0);
+  std::vector<LevelSpec> levels(height + 1);
+  for (Level l = 0; l <= height; ++l) {
+    const double ideal =
+        total_size / std::pow(static_cast<double>(branching),
+                              static_cast<double>(height - l));
+    levels[l].capacity =
+        l == height ? total_size : std::ceil(ideal) * (1.0 + slack);
+    levels[l].max_branches = branching;
+    levels[l].weight = l < height ? weights[l] : 1.0;
+  }
+  return HierarchySpec(std::move(levels));
+}
+
+HierarchySpec FullBinaryHierarchy(double total_size, Level height,
+                                  double slack, double weight) {
+  return UniformHierarchy(total_size, height, 2, slack,
+                          std::vector<double>(height, weight));
+}
+
+}  // namespace htp

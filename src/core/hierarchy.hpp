@@ -1,0 +1,109 @@
+// Hierarchy specification for the HTP problem (Section 2.1).
+//
+// A rooted tree hierarchy with leaves at level 0 and the root at level L.
+// Each level l carries a block-capacity bound C_l, a branch bound K_l (max
+// children of a level-l vertex; meaningless at level 0), and a cost weight
+// w_l (the weight of spans at level l in Equation (1); meaningless at the
+// root, whose span is always 1).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "netlist/common.hpp"
+
+namespace htp {
+
+/// Per-level parameters of a hierarchy.
+struct LevelSpec {
+  /// C_l: upper bound on the total node size assigned to a level-l block.
+  double capacity = 0.0;
+  /// K_l: upper bound on the number of children of a level-l block.
+  /// Ignored for level 0 (leaves have no children).
+  std::size_t max_branches = 2;
+  /// w_l: weighting factor of the interconnection cost at level l.
+  /// Ignored for the root level (the root always holds every node).
+  double weight = 1.0;
+};
+
+/// The tree-hierarchy parameters (C_l, K_l, w_l) of an HTP instance.
+///
+/// `levels[l]` describes level l; `levels.back()` is the root level L.
+/// Validity (checked by Validate()): at least two levels, positive
+/// capacities, nondecreasing capacities, branch bounds >= 2 above level 0,
+/// nonnegative weights.
+class HierarchySpec {
+ public:
+  HierarchySpec() = default;
+  explicit HierarchySpec(std::vector<LevelSpec> levels)
+      : levels_(std::move(levels)) {
+    Validate();
+  }
+
+  const std::vector<LevelSpec>& levels() const { return levels_; }
+  const LevelSpec& level(Level l) const {
+    HTP_CHECK(l < levels_.size());
+    return levels_[l];
+  }
+  /// L: the level of the root.
+  Level root_level() const {
+    return static_cast<Level>(levels_.size() - 1);
+  }
+  std::size_t num_levels() const { return levels_.size(); }
+
+  double capacity(Level l) const { return level(l).capacity; }
+  std::size_t max_branches(Level l) const { return level(l).max_branches; }
+  double weight(Level l) const { return level(l).weight; }
+
+  /// The spreading lower-bound function g of linear program (P1):
+  ///   g(x) = 0                                   when x <= C_0
+  ///   g(x) = 2 * sum_{i=0..l} (x - C_i) * w_i    when C_l < x <= C_{l+1}
+  /// For x beyond the root capacity the last branch (l = L-1) applies.
+  double g(double x) const;
+
+  /// The smallest level l whose capacity admits total size `x`
+  /// (Algorithm 3 step 2). Throws when x exceeds the root capacity.
+  Level LevelForSize(double x) const;
+
+  /// The size a level-l subtree can actually absorb: C_l capped by what its
+  /// K_l children can absorb recursively. Two regimes:
+  ///  * `integral` (unit-size cells, the paper's experiments): capacities
+  ///    are floored — C_0 = 2.4 holds 2 unit cells, so a K = 2 level-1
+  ///    block holds 4, not C_1 = 4.8. Exact for unit sizes.
+  ///  * otherwise, a bin-packing margin of (K_l - 1) * `granularity` is
+  ///    subtracted per level, where `granularity` bounds the largest node:
+  ///    prefix-growth carves advance in steps of at most `granularity`, so
+  ///    any window at least that wide is always hit. Safe (slightly
+  ///    conservative) for arbitrary node sizes <= granularity.
+  /// Top-down constructors must bound carves by this, not by C_l alone, or
+  /// they create blocks that cannot be legally subdivided. Throws when the
+  /// spec is too tight for the granularity (capacity underflows).
+  double AchievableCapacity(Level l, bool integral,
+                            double granularity = 1.0) const;
+
+  /// Throws htp::Error when the spec is malformed.
+  void Validate() const;
+
+  /// One-line human-readable description.
+  std::string ToString() const;
+
+ private:
+  std::vector<LevelSpec> levels_;
+};
+
+/// The hierarchy used by the paper's experiments: "the target tree hierarchy
+/// will be a full binary tree with height 4" (Section 4). K_l = 2 at every
+/// level, root at level `height`, uniform weights, and capacities
+///   C_l = ceil(total_size / 2^(height - l)) * (1 + slack)
+/// with 10% slack by default; the root capacity admits everything.
+HierarchySpec FullBinaryHierarchy(double total_size, Level height = 4,
+                                  double slack = 0.10, double weight = 1.0);
+
+/// A general helper: K-ary hierarchy of the given height with per-level
+/// weights (weights.size() == height; weights[l] = w_l).
+HierarchySpec UniformHierarchy(double total_size, Level height,
+                               std::size_t branching, double slack,
+                               const std::vector<double>& weights);
+
+}  // namespace htp

@@ -1,0 +1,95 @@
+#include "core/htp_flow.hpp"
+
+#include "core/mst_carver.hpp"
+
+namespace htp {
+namespace {
+
+// Wraps a carve in best-of-`attempts` restarts (in-window results strictly
+// dominate out-of-window ones).
+CarveResult BestOfCarves(const Hypergraph& hg,
+                         std::span<const double> metric, double lb, double ub,
+                         Rng& rng, std::size_t attempts, CarverKind carver) {
+  CarveResult best;
+  bool have = false;
+  for (std::size_t t = 0; t < attempts; ++t) {
+    CarveResult cut = carver == CarverKind::kMstSplit
+                          ? MstSplitCarve(hg, metric, lb, ub, rng)
+                          : MetricFindCut(hg, metric, lb, ub, rng);
+    const bool better =
+        !have ||
+        (cut.in_window && !best.in_window) ||
+        (cut.in_window == best.in_window && cut.cut_value < best.cut_value);
+    if (better) {
+      best = std::move(cut);
+      have = true;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+HtpFlowResult RunHtpFlow(const Hypergraph& hg, const HierarchySpec& spec,
+                         const HtpFlowParams& params) {
+  HTP_CHECK(params.iterations >= 1);
+  HTP_CHECK(params.constructions_per_metric >= 1);
+  HTP_CHECK(params.carve_attempts >= 1);
+  Rng master(params.seed);
+
+  std::optional<HtpFlowResult> best;
+  std::vector<HtpFlowIteration> stats;
+  for (std::size_t iter = 0; iter < params.iterations; ++iter) {
+    FlowInjectionParams injection = params.injection;
+    injection.seed = master.fork(iter).next_u64();
+    const FlowInjectionResult metric =
+        ComputeSpreadingMetric(hg, spec, injection);
+
+    HtpFlowIteration it_stats;
+    it_stats.metric_cost = metric.metric_cost;
+    it_stats.injections = metric.injections;
+    it_stats.metric_converged = metric.converged;
+    it_stats.best_partition_cost = -1.0;
+
+    // The carver: in kPerSubproblem mode the whole-graph carves use the
+    // metric computed above, and every proper subproblem gets a freshly
+    // injected local metric (the restriction of a global metric keeps
+    // full multi-level lengths on boundary nets and so misguides
+    // lower-level carves; see MetricScope).
+    Rng metric_rng = master.fork(2000 + iter);
+    const CarveFn carve = [&](const Hypergraph& sub,
+                              std::span<const double> sub_metric, double lb,
+                              double ub, Rng& rng) {
+      if (params.metric_scope == MetricScope::kPerSubproblem &&
+          sub.num_nodes() < hg.num_nodes() &&
+          sub.total_size() > spec.capacity(0)) {
+        FlowInjectionParams local = params.injection;
+        local.seed = metric_rng.next_u64();
+        const FlowInjectionResult local_metric =
+            ComputeSpreadingMetric(sub, spec, local);
+        return BestOfCarves(sub, local_metric.metric, lb, ub, rng,
+                            params.carve_attempts, params.carver);
+      }
+      return BestOfCarves(sub, sub_metric, lb, ub, rng,
+                          params.carve_attempts, params.carver);
+    };
+
+    Rng construct_rng = master.fork(1000 + iter);
+    for (std::size_t c = 0; c < params.constructions_per_metric; ++c) {
+      TreePartition tp = BuildPartitionTopDown(hg, spec, metric.metric, carve,
+                                               construct_rng);
+      const double cost = PartitionCost(tp, spec);
+      if (it_stats.best_partition_cost < 0.0 ||
+          cost < it_stats.best_partition_cost)
+        it_stats.best_partition_cost = cost;
+      if (!best || cost < best->cost) {
+        best = HtpFlowResult{std::move(tp), cost, {}};
+      }
+    }
+    stats.push_back(it_stats);
+  }
+  best->iterations = std::move(stats);
+  return std::move(*best);
+}
+
+}  // namespace htp

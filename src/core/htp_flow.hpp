@@ -1,0 +1,85 @@
+// Algorithm 1: the complete network-flow-based HTP heuristic (FLOW).
+//
+//   repeat N times:
+//     1.1  compute a spreading metric by stochastic flow injection (Alg. 2)
+//     1.2  construct a partition from the metric (Alg. 3 / find_cut)
+//   output the best partition found
+//
+// The conclusion of the paper suggests amortizing the expensive metric
+// computation by "constructing multiple partitions for the same spreading
+// metric without a significant increase on the run time" —
+// `constructions_per_metric` implements exactly that and is swept by
+// bench/ablation_multipart.
+#pragma once
+
+#include <optional>
+
+#include "core/build_partition.hpp"
+#include "core/flow_injection.hpp"
+
+namespace htp {
+
+/// How spreading metrics feed Algorithm 3's recursion.
+enum class MetricScope {
+  /// The paper's literal pipeline: one global metric, reused (restricted)
+  /// in every subproblem. Cheap, but the restriction blurs the metric's
+  /// signal at lower levels (boundary nets keep their full multi-level
+  /// length inside a block) — see DESIGN.md and bench/ablation_scope.
+  kGlobalOnce,
+  /// Re-run the flow injection on each subproblem with the same hierarchy
+  /// spec (the sub-level capacities are the binding ones, so g() is
+  /// unchanged). Subproblems shrink geometrically, so the asymptotic cost
+  /// matches a single global computation up to the branching factor. This
+  /// recovers the paper's reported quality on our substrate and is the
+  /// default.
+  kPerSubproblem,
+};
+
+/// find_cut implementation used by Algorithm 3 inside FLOW.
+enum class CarverKind {
+  /// The paper's Procedure find_cut: Prim prefix growth with min-cut
+  /// prefix selection (core/find_cut.hpp).
+  kPrimPrefix,
+  /// The conclusion's future-work suggestion: Karger-style 1-respecting
+  /// cuts of the metric MST (core/mst_carver.hpp).
+  kMstSplit,
+};
+
+/// Parameters of Algorithm 1.
+struct HtpFlowParams {
+  FlowInjectionParams injection;
+  /// N: outer iterations (fresh metric + construction each time).
+  std::size_t iterations = 4;
+  /// Partitions constructed per computed metric (>= 1; the paper's
+  /// future-work amortization).
+  std::size_t constructions_per_metric = 1;
+  /// Metric reuse strategy for the recursion (see MetricScope).
+  MetricScope metric_scope = MetricScope::kPerSubproblem;
+  /// find_cut restarts per carve; the cheapest in-window result wins.
+  std::size_t carve_attempts = 4;
+  /// Which carve implementation find_cut uses.
+  CarverKind carver = CarverKind::kPrimPrefix;
+  /// Master seed; per-iteration streams are forked from it.
+  std::uint64_t seed = 1;
+};
+
+/// Statistics of one Algorithm-1 iteration.
+struct HtpFlowIteration {
+  double metric_cost = 0.0;        ///< sum c(e) d(e) — the Lemma-2 witness
+  double best_partition_cost = 0.0;  ///< best construction on this metric
+  std::size_t injections = 0;
+  bool metric_converged = false;
+};
+
+/// Outcome of Algorithm 1.
+struct HtpFlowResult {
+  TreePartition partition;  ///< best partition over all constructions
+  double cost = 0.0;        ///< its interconnection cost (Equation (1))
+  std::vector<HtpFlowIteration> iterations;
+};
+
+/// Runs Algorithm 1 (FLOW) on `hg` with respect to `spec`.
+HtpFlowResult RunHtpFlow(const Hypergraph& hg, const HierarchySpec& spec,
+                         const HtpFlowParams& params = {});
+
+}  // namespace htp

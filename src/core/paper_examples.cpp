@@ -1,0 +1,44 @@
+#include "core/paper_examples.hpp"
+
+namespace htp {
+
+Hypergraph Figure2Graph() {
+  HypergraphBuilder builder;
+  for (int v = 0; v < 16; ++v) builder.add_node(1.0);
+  auto edge = [&](NodeId a, NodeId b) { builder.add_net({a, b}); };
+  // K4 inside each of the four clusters (24 edges).
+  for (NodeId base : {0u, 4u, 8u, 12u})
+    for (NodeId i = 0; i < 4; ++i)
+      for (NodeId j = i + 1; j < 4; ++j) edge(base + i, base + j);
+  // Two edges inside each level-1 block — cut at level 0 only, cost 2
+  // (the (a,b) edges of the figure).
+  edge(0, 4);
+  edge(1, 5);
+  edge(8, 12);
+  edge(9, 13);
+  // Two edges across the level-1 blocks — cut at both levels, cost 6
+  // (the (c,d) edges of the figure).
+  edge(2, 10);
+  edge(6, 14);
+  return builder.build();
+}
+
+HierarchySpec Figure2Spec() {
+  std::vector<LevelSpec> levels(3);
+  levels[0] = {4.0, 2, 1.0};   // C0 = 4, w0 = 1
+  levels[1] = {8.0, 2, 2.0};   // C1 = 8, w1 = 2
+  levels[2] = {16.0, 2, 1.0};  // root
+  return HierarchySpec(std::move(levels));
+}
+
+TreePartition Figure2OptimalPartition(const Hypergraph& hg) {
+  TreePartition tp(hg, 2);
+  const BlockId left = tp.AddChild(TreePartition::kRoot);
+  const BlockId right = tp.AddChild(TreePartition::kRoot);
+  const BlockId leaves[4] = {tp.AddChild(left), tp.AddChild(left),
+                             tp.AddChild(right), tp.AddChild(right)};
+  for (NodeId v = 0; v < 16; ++v) tp.AssignNode(v, leaves[v / 4]);
+  return tp;
+}
+
+}  // namespace htp

@@ -1,0 +1,37 @@
+// The worked example of Figure 2 of the paper.
+//
+// "Suppose we want to partition a netlist into a tree hierarchy with the
+// size upper bounds C0 = 4, C1 = 8 and cost weighting factors w0 = 1,
+// w1 = 2 ... A graph of 16 nodes with unit sizes and 30 edges with unit
+// capacities can be optimally partitioned into this tree hierarchy."
+//
+// The scanned figure does not list the edges; this reconstruction follows
+// its description exactly: four 4-node clusters (complete K4 inside, 6
+// edges each = 24 edges), grouped pairwise into two level-1 blocks, plus six
+// inter-cluster edges — two inside each level-1 block (the cost-2 edges
+// like (a,b)) and two across the level-1 blocks (the cost-6 edges like
+// (c,d)). The intended partition is provably optimal for this graph (see
+// tests/core/figure2_test.cpp, which certifies it by exhaustive search).
+#pragma once
+
+#include "core/hierarchy.hpp"
+#include "core/tree_partition.hpp"
+
+namespace htp {
+
+/// The 16-node / 30-edge graph of Figure 2(b). Nodes 0-3, 4-7, 8-11, 12-15
+/// are the four clusters; clusters {0,1} and {2,3} form the level-1 blocks.
+Hypergraph Figure2Graph();
+
+/// The hierarchy of Figure 2(a): C0 = 4, C1 = 8, w0 = 1, w1 = 2, K = 2,
+/// root at level 2 (capacity 16).
+HierarchySpec Figure2Spec();
+
+/// The intended (optimal) partition: one leaf per cluster, clusters 0/1 and
+/// 2/3 paired at level 1. Its cost is 20 = 4 edges * 2 + 2 edges * 6.
+TreePartition Figure2OptimalPartition(const Hypergraph& hg);
+
+/// The optimal cost of the Figure 2 instance.
+inline constexpr double kFigure2OptimalCost = 20.0;
+
+}  // namespace htp

@@ -1,0 +1,39 @@
+// Text serialization of hierarchical tree partitions.
+//
+// A stable, diff-friendly format so partitions survive across runs and
+// feed downstream tools (placement, board assignment):
+//
+//   htp-partition v1
+//   netlist <nodes> <nets> <pins>        # fingerprint of the hypergraph
+//   root_level <L>
+//   blocks <count>
+//   block <id> <level> <parent-id|-1>      # in id order; parents precede
+//   assign <node-id> <leaf-id>             # one line per node
+//
+// Block ids are the TreePartition's own ids (0 = root); writing then
+// reading reproduces them exactly because children are recreated in id
+// order.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/tree_partition.hpp"
+
+namespace htp {
+
+/// Serializes `tp` (which must be fully assigned) to the text format.
+std::string WritePartitionText(const TreePartition& tp);
+
+/// Parses the text format against `hg`. Throws htp::Error (with a line
+/// number) on malformed input, a netlist-fingerprint mismatch (the file
+/// was written for a different hypergraph), inconsistent structure, or
+/// assignments that do not cover every node exactly once. Files without a
+/// fingerprint line (older format) are accepted.
+TreePartition ReadPartitionText(const Hypergraph& hg, const std::string& text);
+
+/// File helpers.
+void WritePartitionFile(const TreePartition& tp, const std::string& path);
+TreePartition ReadPartitionFile(const Hypergraph& hg, const std::string& path);
+
+}  // namespace htp

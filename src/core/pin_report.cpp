@@ -1,0 +1,69 @@
+#include "core/pin_report.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace htp {
+
+PartitionReport ReportPartition(const TreePartition& tp,
+                                const HierarchySpec& spec) {
+  HTP_CHECK_MSG(tp.fully_assigned(), "report needs a complete partition");
+  const Hypergraph& hg = tp.hypergraph();
+  PartitionReport report;
+
+  std::vector<double> pins(tp.num_blocks(), 0.0);
+  // One pass per net: at each level below the root, every distinct block
+  // the net touches gains one pin of weight c(e) — unless the net is
+  // entirely inside a single block at that level.
+  std::vector<BlockId> scratch;
+  for (NetId e = 0; e < hg.num_nets(); ++e) {
+    for (Level l = 0; l < tp.root_level(); ++l) {
+      scratch.clear();
+      for (NodeId v : hg.pins(e)) scratch.push_back(tp.block_at(v, l));
+      std::sort(scratch.begin(), scratch.end());
+      scratch.erase(std::unique(scratch.begin(), scratch.end()),
+                    scratch.end());
+      if (scratch.size() <= 1) break;  // contained here and above
+      for (BlockId q : scratch) pins[q] += hg.net_capacity(e);
+    }
+  }
+
+  report.levels.resize(tp.root_level());
+  for (Level l = 0; l < tp.root_level(); ++l) report.levels[l].level = l;
+  for (BlockId q = 0; q < tp.num_blocks(); ++q) {
+    const Level l = tp.level(q);
+    BlockReport block;
+    block.block = q;
+    block.level = l;
+    block.size = tp.block_size(q);
+    block.capacity = spec.capacity(l);
+    block.utilization = block.size / block.capacity;
+    block.io_pins = pins[q];
+    report.blocks.push_back(block);
+    if (l >= tp.root_level()) continue;  // root has no boundary
+    LevelReport& lev = report.levels[l];
+    ++lev.blocks;
+    lev.total_pins += block.io_pins;
+    lev.max_pins = std::max(lev.max_pins, block.io_pins);
+    lev.max_utilization = std::max(lev.max_utilization, block.utilization);
+  }
+  return report;
+}
+
+std::string FormatReport(const PartitionReport& report) {
+  std::ostringstream os;
+  for (const LevelReport& lev : report.levels) {
+    os << "level " << lev.level << ": " << lev.blocks << " blocks, "
+       << lev.total_pins << " pins total (max " << lev.max_pins
+       << " per block), max utilization "
+       << static_cast<int>(lev.max_utilization * 100.0 + 0.5) << "%\n";
+    for (const BlockReport& block : report.blocks) {
+      if (block.level != lev.level) continue;
+      os << "  block#" << block.block << " size=" << block.size << "/"
+         << block.capacity << " pins=" << block.io_pins << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace htp

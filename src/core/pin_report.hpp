@@ -1,0 +1,53 @@
+// Per-block I/O pin and utilization reporting.
+//
+// The HTP objective is "the total weighted I/O pin cost at all levels of
+// hierarchy": a net spanning f >= 2 level-l blocks consumes one I/O pin on
+// each of them. This module exposes that per-block view — the quantity a
+// board/FPGA engineer actually checks against a package's pin budget —
+// and it ties out exactly with Equation (1):
+//
+//   sum over level-l blocks of io_pins(q)  ==  sum_e c(e) * span(e, l)
+//
+// (verified in tests/core/pin_report_test.cpp).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/cost.hpp"
+
+namespace htp {
+
+/// Pin/size accounting of one block.
+struct BlockReport {
+  BlockId block = kInvalidBlock;
+  Level level = 0;
+  double size = 0.0;         ///< s(V_q)
+  double capacity = 0.0;     ///< C_l
+  double utilization = 0.0;  ///< size / capacity
+  double io_pins = 0.0;      ///< total capacity of nets crossing q's boundary
+};
+
+/// Aggregates per level.
+struct LevelReport {
+  Level level = 0;
+  std::size_t blocks = 0;
+  double total_pins = 0.0;
+  double max_pins = 0.0;
+  double max_utilization = 0.0;
+};
+
+/// Full partition report.
+struct PartitionReport {
+  std::vector<BlockReport> blocks;  ///< every block, id order
+  std::vector<LevelReport> levels;  ///< levels 0..root-1 (root excluded)
+};
+
+/// Computes per-block I/O pins and utilizations for a complete partition.
+PartitionReport ReportPartition(const TreePartition& tp,
+                                const HierarchySpec& spec);
+
+/// Human-readable rendering (one line per block, grouped by level).
+std::string FormatReport(const PartitionReport& report);
+
+}  // namespace htp

@@ -1,0 +1,54 @@
+#include "core/spreading_metric.hpp"
+
+namespace htp {
+
+SpreadingMetric MetricFromPartition(const TreePartition& tp,
+                                    const HierarchySpec& spec) {
+  const Hypergraph& hg = tp.hypergraph();
+  SpreadingMetric metric(hg.num_nets(), 0.0);
+  for (NetId e = 0; e < hg.num_nets(); ++e)
+    metric[e] = NetCost(tp, spec, e) / hg.net_capacity(e);
+  return metric;
+}
+
+double MetricCost(const Hypergraph& hg, const SpreadingMetric& metric) {
+  HTP_CHECK(metric.size() == hg.num_nets());
+  double total = 0.0;
+  for (NetId e = 0; e < hg.num_nets(); ++e)
+    total += hg.net_capacity(e) * metric[e];
+  return total;
+}
+
+std::optional<SpreadingViolation> FindViolationFrom(
+    const Hypergraph& hg, const HierarchySpec& spec,
+    const SpreadingMetric& metric, NodeId source, double tolerance) {
+  HTP_CHECK(metric.size() == hg.num_nets());
+  std::optional<SpreadingViolation> found;
+  ShortestPathTree tree = GrowShortestPathTree(
+      hg, source, metric, [&](const GrowState& state) {
+        const double rhs = spec.g(state.tree_size);
+        if (state.weighted_dist + tolerance < rhs) {
+          found = SpreadingViolation{source,
+                                     state.tree_nodes,
+                                     state.tree_size,
+                                     state.weighted_dist,
+                                     rhs,
+                                     {}};
+          return GrowAction::kStop;
+        }
+        return GrowAction::kContinue;
+      });
+  if (found) found->tree = std::move(tree);
+  return found;
+}
+
+std::optional<SpreadingViolation> CheckSpreadingMetric(
+    const Hypergraph& hg, const HierarchySpec& spec,
+    const SpreadingMetric& metric, double tolerance) {
+  for (NodeId v = 0; v < hg.num_nodes(); ++v)
+    if (auto violation = FindViolationFrom(hg, spec, metric, v, tolerance))
+      return violation;
+  return std::nullopt;
+}
+
+}  // namespace htp

@@ -1,0 +1,66 @@
+// Spreading metrics: fractional solutions to linear program (P1).
+//
+// A spreading metric is a nonnegative length d(e) per net. Feasibility for
+// (P1) means every node set is spread apart:
+//
+//   for all S ⊆ V, v ∈ S:  sum_{u ∈ S} s(u) * dist_d(v, u) >= g(s(S))   (3)
+//
+// which, by Claim 4 of Even et al. [4], holds iff it holds for the O(n^2)
+// shortest-path-tree prefixes S(v, k):
+//
+//   for all v, k:  sum_{u ∈ S(v,k)} s(u) * dist_d(v, u) >= g(s(S(v,k)))  (5)
+//
+// This header provides: metrics induced by partitions (Lemma 1), the metric
+// objective sum_e c(e) d(e), and the constraint checker / separation oracle
+// over family (5) shared by Algorithm 2, the exact LP solver, and the tests.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/cost.hpp"
+#include "core/hierarchy.hpp"
+#include "core/tree_partition.hpp"
+#include "graph/dijkstra.hpp"
+
+namespace htp {
+
+/// d(e) per net, aligned with net ids.
+using SpreadingMetric = std::vector<double>;
+
+/// Lemma 1: the integral metric d(e) = cost(e) / c(e) induced by a
+/// hierarchical tree partition — feasible for (P1) with objective equal to
+/// the partition's interconnection cost.
+SpreadingMetric MetricFromPartition(const TreePartition& tp,
+                                    const HierarchySpec& spec);
+
+/// The (P1) objective: sum_e c(e) * d(e).
+double MetricCost(const Hypergraph& hg, const SpreadingMetric& metric);
+
+/// One violated constraint of family (5).
+struct SpreadingViolation {
+  NodeId source = kInvalidNode;   ///< v
+  std::size_t tree_nodes = 0;     ///< k
+  double tree_size = 0.0;         ///< s(S(v,k))
+  double lhs = 0.0;               ///< sum s(u) dist(v,u)
+  double rhs = 0.0;               ///< g(s(S(v,k)))
+  /// The violating shortest-path tree itself (for flow injection / cuts).
+  ShortestPathTree tree;
+};
+
+/// Checks constraints (5) rooted at one node; returns the *first* violation
+/// met while growing S(v,k) for k = 1..n, or nullopt when v is satisfied.
+/// `tolerance` is the absolute slack granted to the left-hand side.
+std::optional<SpreadingViolation> FindViolationFrom(
+    const Hypergraph& hg, const HierarchySpec& spec,
+    const SpreadingMetric& metric, NodeId source, double tolerance = 1e-7);
+
+/// Full feasibility check of family (5) over all sources. Returns the first
+/// violation found (scanning sources in id order), or nullopt when `metric`
+/// is a feasible spreading metric.
+std::optional<SpreadingViolation> CheckSpreadingMetric(
+    const Hypergraph& hg, const HierarchySpec& spec,
+    const SpreadingMetric& metric, double tolerance = 1e-7);
+
+}  // namespace htp

@@ -1,0 +1,163 @@
+#include "core/tree_partition.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace htp {
+
+TreePartition::TreePartition(const Hypergraph& hg, Level root_level)
+    : hg_(&hg) {
+  level_.push_back(root_level);
+  parent_.push_back(kInvalidBlock);
+  children_.emplace_back();
+  size_.push_back(0.0);
+  leaf_of_.assign(hg.num_nodes(), kInvalidBlock);
+}
+
+BlockId TreePartition::AddChild(BlockId parent) {
+  HTP_CHECK(parent < num_blocks());
+  HTP_CHECK_MSG(level_[parent] > 0, "level-0 blocks cannot have children");
+  const BlockId q = static_cast<BlockId>(level_.size());
+  level_.push_back(level_[parent] - 1);
+  parent_.push_back(parent);
+  children_.emplace_back();
+  size_.push_back(0.0);
+  children_[parent].push_back(q);
+  return q;
+}
+
+void TreePartition::AssignNode(NodeId v, BlockId leaf) {
+  HTP_CHECK(v < hg_->num_nodes());
+  HTP_CHECK(leaf < num_blocks());
+  HTP_CHECK_MSG(level_[leaf] == 0, "nodes are assigned to level-0 leaves");
+  HTP_CHECK_MSG(leaf_of_[v] == kInvalidBlock, "node already assigned");
+  leaf_of_[v] = leaf;
+  ++assigned_;
+  const double s = hg_->node_size(v);
+  for (BlockId q = leaf; q != kInvalidBlock; q = parent_[q]) size_[q] += s;
+}
+
+void TreePartition::MoveNode(NodeId v, BlockId new_leaf) {
+  HTP_CHECK(v < hg_->num_nodes());
+  HTP_CHECK(new_leaf < num_blocks() && level_[new_leaf] == 0);
+  const BlockId old_leaf = leaf_of_[v];
+  HTP_CHECK_MSG(old_leaf != kInvalidBlock, "node not assigned yet");
+  if (old_leaf == new_leaf) return;
+  const double s = hg_->node_size(v);
+  for (BlockId q = old_leaf; q != kInvalidBlock; q = parent_[q]) size_[q] -= s;
+  for (BlockId q = new_leaf; q != kInvalidBlock; q = parent_[q]) size_[q] += s;
+  leaf_of_[v] = new_leaf;
+}
+
+BlockId TreePartition::block_at(NodeId v, Level l) const {
+  const BlockId leaf = leaf_of(v);
+  HTP_CHECK_MSG(leaf != kInvalidBlock, "node not assigned");
+  return ancestor(leaf, l);
+}
+
+BlockId TreePartition::ancestor(BlockId q, Level l) const {
+  HTP_CHECK(q < num_blocks());
+  HTP_CHECK(l <= root_level() && l >= level_[q]);
+  while (level_[q] < l) q = parent_[q];
+  return q;
+}
+
+Level TreePartition::LcaLevel(BlockId leaf_a, BlockId leaf_b) const {
+  HTP_CHECK(leaf_a < num_blocks() && leaf_b < num_blocks());
+  HTP_CHECK(level_[leaf_a] == 0 && level_[leaf_b] == 0);
+  Level l = 0;
+  while (leaf_a != leaf_b) {
+    leaf_a = parent_[leaf_a];
+    leaf_b = parent_[leaf_b];
+    ++l;
+  }
+  return l;
+}
+
+std::vector<BlockId> TreePartition::Leaves() const { return BlocksAtLevel(0); }
+
+std::vector<BlockId> TreePartition::BlocksAtLevel(Level l) const {
+  std::vector<BlockId> out;
+  for (BlockId q = 0; q < num_blocks(); ++q)
+    if (level_[q] == l) out.push_back(q);
+  return out;
+}
+
+std::string TreePartition::ToString() const {
+  std::ostringstream os;
+  // Depth-first rendering with indentation by (root_level - level).
+  std::vector<std::pair<BlockId, int>> stack{{kRoot, 0}};
+  while (!stack.empty()) {
+    auto [q, depth] = stack.back();
+    stack.pop_back();
+    os << std::string(static_cast<std::size_t>(depth) * 2, ' ') << "L"
+       << level_[q] << " block#" << q << " size=" << size_[q];
+    if (level_[q] == 0) {
+      std::size_t count = 0;
+      for (NodeId v = 0; v < hg_->num_nodes(); ++v)
+        if (leaf_of_[v] == q) ++count;
+      os << " nodes=" << count;
+    }
+    os << "\n";
+    for (auto it = children_[q].rbegin(); it != children_[q].rend(); ++it)
+      stack.emplace_back(*it, depth + 1);
+  }
+  return os.str();
+}
+
+std::vector<std::string> ValidatePartition(const TreePartition& tp,
+                                           const HierarchySpec& spec) {
+  std::vector<std::string> issues;
+  const Hypergraph& hg = tp.hypergraph();
+  if (tp.root_level() > spec.root_level())
+    issues.push_back("partition root level exceeds the spec's root level");
+  if (!tp.fully_assigned())
+    issues.push_back("not every node is assigned to a leaf");
+
+  for (BlockId q = 0; q < tp.num_blocks(); ++q) {
+    const Level l = tp.level(q);
+    if (tp.block_size(q) > spec.capacity(l) + 1e-9)
+      issues.push_back("block #" + std::to_string(q) + " at level " +
+                       std::to_string(l) + " has size " +
+                       std::to_string(tp.block_size(q)) + " > C_l = " +
+                       std::to_string(spec.capacity(l)));
+    if (l > 0 && tp.children(q).size() > spec.max_branches(l))
+      issues.push_back("block #" + std::to_string(q) + " at level " +
+                       std::to_string(l) + " has " +
+                       std::to_string(tp.children(q).size()) +
+                       " children > K_l = " +
+                       std::to_string(spec.max_branches(l)));
+    for (BlockId c : tp.children(q))
+      if (tp.level(c) + 1 != l || tp.parent(c) != q)
+        issues.push_back("structural inconsistency at block #" +
+                         std::to_string(c));
+  }
+
+  // Block sizes must equal the sum of their assigned nodes (guards against
+  // incremental-update drift in refiners).
+  std::vector<double> recomputed(tp.num_blocks(), 0.0);
+  for (NodeId v = 0; v < hg.num_nodes(); ++v) {
+    BlockId leaf = tp.leaf_of(v);
+    if (leaf == kInvalidBlock) continue;
+    for (BlockId q = leaf;; q = tp.parent(q)) {
+      recomputed[q] += hg.node_size(v);
+      if (q == TreePartition::kRoot) break;
+    }
+  }
+  for (BlockId q = 0; q < tp.num_blocks(); ++q)
+    if (std::abs(recomputed[q] - tp.block_size(q)) > 1e-6)
+      issues.push_back("cached size of block #" + std::to_string(q) +
+                       " drifted from its true value");
+  return issues;
+}
+
+void RequireValidPartition(const TreePartition& tp,
+                           const HierarchySpec& spec) {
+  const std::vector<std::string> issues = ValidatePartition(tp, spec);
+  if (issues.empty()) return;
+  std::string all = "invalid partition:";
+  for (const std::string& s : issues) all += "\n  - " + s;
+  throw Error(all);
+}
+
+}  // namespace htp

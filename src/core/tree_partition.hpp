@@ -1,0 +1,108 @@
+// TreePartition: the hierarchical tree partition P = (T, {V_q}).
+//
+// Blocks (tree vertices) are dense ids; block 0 is the root. Every child
+// lives exactly one level below its parent, so the path from a leaf to the
+// root visits every level once and `block_at(v, l)` is well defined for all
+// l in [0, root_level]. Small blocks that conceptually skip levels are
+// represented as single-child chains (see DESIGN.md).
+//
+// The structure is mutable in two phases: construction (AddChild /
+// AssignNode) and refinement (MoveNode, used by the generalized FM
+// improver). Sizes are maintained incrementally along root paths.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/hierarchy.hpp"
+#include "netlist/hypergraph.hpp"
+
+namespace htp {
+
+/// A hierarchical tree partition of a hypergraph.
+class TreePartition {
+ public:
+  /// Creates a partition with a lone root block at `root_level` and every
+  /// node unassigned.
+  TreePartition(const Hypergraph& hg, Level root_level);
+
+  const Hypergraph& hypergraph() const { return *hg_; }
+  Level root_level() const { return level_[kRoot]; }
+  static constexpr BlockId kRoot = 0;
+
+  std::size_t num_blocks() const { return level_.size(); }
+  Level level(BlockId q) const {
+    HTP_CHECK(q < num_blocks());
+    return level_[q];
+  }
+  BlockId parent(BlockId q) const {
+    HTP_CHECK(q < num_blocks());
+    return parent_[q];
+  }
+  std::span<const BlockId> children(BlockId q) const {
+    HTP_CHECK(q < num_blocks());
+    return children_[q];
+  }
+  /// s(V_q): total size of the nodes assigned to block q (or below it).
+  double block_size(BlockId q) const {
+    HTP_CHECK(q < num_blocks());
+    return size_[q];
+  }
+
+  /// Adds a child one level below `parent`; the parent must not be at level 0.
+  BlockId AddChild(BlockId parent);
+
+  /// Assigns an unassigned node to a level-0 leaf.
+  void AssignNode(NodeId v, BlockId leaf);
+
+  /// Reassigns node `v` to a different leaf (the FM refinement move).
+  void MoveNode(NodeId v, BlockId new_leaf);
+
+  /// Leaf holding node v (kInvalidBlock when unassigned).
+  BlockId leaf_of(NodeId v) const {
+    HTP_CHECK(v < hg_->num_nodes());
+    return leaf_of_[v];
+  }
+
+  /// Ancestor block of node v at level `l` (l <= root_level; level 0 returns
+  /// the leaf itself). The node must be assigned.
+  BlockId block_at(NodeId v, Level l) const;
+
+  /// Ancestor of block `q` at level `l` >= level(q).
+  BlockId ancestor(BlockId q, Level l) const;
+
+  /// Lowest common ancestor level of two leaves (0 when identical).
+  Level LcaLevel(BlockId leaf_a, BlockId leaf_b) const;
+
+  /// All level-0 blocks, in id order.
+  std::vector<BlockId> Leaves() const;
+  /// All blocks at a given level, in id order.
+  std::vector<BlockId> BlocksAtLevel(Level l) const;
+
+  /// True when every node has been assigned to a leaf.
+  bool fully_assigned() const { return assigned_ == hg_->num_nodes(); }
+
+  /// ASCII rendering of the tree (sizes per block), for examples and logs.
+  std::string ToString() const;
+
+ private:
+  const Hypergraph* hg_;
+  std::vector<Level> level_;
+  std::vector<BlockId> parent_;
+  std::vector<std::vector<BlockId>> children_;
+  std::vector<double> size_;
+  std::vector<BlockId> leaf_of_;
+  NodeId assigned_ = 0;
+};
+
+/// Checks a finished partition against the spec: total assignment, capacity
+/// bounds s(V_q) <= C_l, branch bounds <= K_l, structural consistency.
+/// Returns human-readable violation messages (empty = valid).
+std::vector<std::string> ValidatePartition(const TreePartition& tp,
+                                           const HierarchySpec& spec);
+
+/// Convenience: throws htp::Error listing the violations, if any.
+void RequireValidPartition(const TreePartition& tp, const HierarchySpec& spec);
+
+}  // namespace htp

@@ -1,0 +1,120 @@
+#include "graph/dijkstra.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace htp {
+namespace {
+
+struct QueueEntry {
+  double dist;
+  NodeId node;
+  bool operator>(const QueueEntry& other) const {
+    return dist > other.dist || (dist == other.dist && node > other.node);
+  }
+};
+
+using MinQueue =
+    std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>>;
+
+}  // namespace
+
+ShortestPathTree GrowShortestPathTree(
+    const Hypergraph& hg, NodeId source, std::span<const double> net_length,
+    const std::function<GrowAction(const GrowState&)>& visitor) {
+  HTP_CHECK(source < hg.num_nodes());
+  HTP_CHECK(net_length.size() == hg.num_nets());
+
+  ShortestPathTree tree;
+  tree.source = source;
+  tree.dist.assign(hg.num_nodes(), kInfDist);
+  tree.parent_net.assign(hg.num_nodes(), kInvalidNet);
+  tree.parent_node.assign(hg.num_nodes(), kInvalidNode);
+
+  // Tentative distances live separately: tree.dist is set only on settle so
+  // `settled()` stays meaningful for truncated runs.
+  std::vector<double> tentative(hg.num_nodes(), kInfDist);
+  std::vector<char> net_relaxed(hg.num_nets(), 0);
+  MinQueue queue;
+  tentative[source] = 0.0;
+  queue.push({0.0, source});
+
+  double tree_size = 0.0;
+  double weighted_dist = 0.0;
+
+  while (!queue.empty()) {
+    const QueueEntry top = queue.top();
+    queue.pop();
+    const NodeId u = top.node;
+    if (tree.settled(u) || top.dist > tentative[u]) continue;  // stale entry
+
+    tree.dist[u] = top.dist;
+    tree.order.push_back(u);
+    tree_size += hg.node_size(u);
+    weighted_dist += hg.node_size(u) * top.dist;
+
+    const GrowState state{u, top.dist, tree_size, weighted_dist,
+                          tree.order.size()};
+    if (visitor(state) == GrowAction::kStop) break;
+
+    for (NetId e : hg.nets(u)) {
+      if (net_relaxed[e]) continue;
+      net_relaxed[e] = 1;
+      const double cand = top.dist + net_length[e];
+      for (NodeId x : hg.pins(e)) {
+        if (tree.settled(x) || cand >= tentative[x]) continue;
+        tentative[x] = cand;
+        tree.parent_net[x] = e;
+        tree.parent_node[x] = u;
+        queue.push({cand, x});
+      }
+    }
+  }
+  return tree;
+}
+
+ShortestPathTree Dijkstra(const Hypergraph& hg, NodeId source,
+                          std::span<const double> net_length) {
+  return GrowShortestPathTree(hg, source, net_length,
+                              [](const GrowState&) { return GrowAction::kContinue; });
+}
+
+std::vector<NetId> TreeNets(const ShortestPathTree& tree) {
+  std::vector<NetId> nets;
+  for (NodeId u : tree.order)
+    if (tree.parent_net[u] != kInvalidNet) nets.push_back(tree.parent_net[u]);
+  std::sort(nets.begin(), nets.end());
+  nets.erase(std::unique(nets.begin(), nets.end()), nets.end());
+  return nets;
+}
+
+std::vector<std::pair<NetId, double>> TreeSubtreeSizes(
+    const Hypergraph& hg, const ShortestPathTree& tree) {
+  // Subtree weight of each settled node: its own size plus all descendants
+  // in the shortest-path tree. Settling order is topological (parents settle
+  // before children), so one reverse sweep accumulates weights bottom-up.
+  std::vector<double> subtree(hg.num_nodes(), 0.0);
+  for (NodeId u : tree.order) subtree[u] = hg.node_size(u);
+  for (auto it = tree.order.rbegin(); it != tree.order.rend(); ++it) {
+    const NodeId u = *it;
+    if (tree.parent_node[u] != kInvalidNode)
+      subtree[tree.parent_node[u]] += subtree[u];
+  }
+  // delta(S, e): removing net e disconnects every tree child attached
+  // through e, so sum the subtree weights over nodes whose parent net is e.
+  std::vector<std::pair<NetId, double>> result;
+  std::vector<NetId> nets = TreeNets(tree);
+  result.reserve(nets.size());
+  for (NetId e : nets) result.emplace_back(e, 0.0);
+  // Binary-search position per parent net (nets is sorted).
+  for (NodeId u : tree.order) {
+    const NetId e = tree.parent_net[u];
+    if (e == kInvalidNet) continue;
+    const auto it =
+        std::lower_bound(nets.begin(), nets.end(), e);
+    result[static_cast<std::size_t>(it - nets.begin())].second += subtree[u];
+  }
+  return result;
+}
+
+}  // namespace htp

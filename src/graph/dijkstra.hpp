@@ -1,0 +1,79 @@
+// Dijkstra shortest paths over a hypergraph with net length functions.
+//
+// Both the flow-injection heuristic (Algorithm 2) and the LP separation
+// oracle need single-source shortest paths where the "edges" are nets of
+// length d(e) >= 0: a path may enter a net at any pin and leave at any other
+// pin, paying d(e) once. Settling proceeds in nondecreasing distance, and
+// each net needs to be relaxed only from its first settled pin (any later
+// settled pin offers a distance at least as large), giving O((n+p) log n).
+//
+// GrowShortestPathTree additionally exposes the incremental S(v,k) trees of
+// constraint family (5): after the k-th node is settled the visitor sees the
+// prefix sums needed to evaluate the spreading constraint and may stop the
+// growth early, which is what makes Algorithm 2 affordable.
+#pragma once
+
+#include <functional>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "netlist/hypergraph.hpp"
+
+namespace htp {
+
+inline constexpr double kInfDist = std::numeric_limits<double>::infinity();
+
+/// Result of a (possibly truncated) Dijkstra run.
+struct ShortestPathTree {
+  NodeId source = kInvalidNode;
+  /// Per node: shortest distance from the source (kInfDist if not settled).
+  std::vector<double> dist;
+  /// Per node: net through which the node was first reached (kInvalidNet for
+  /// the source and unsettled nodes).
+  std::vector<NetId> parent_net;
+  /// Per node: the settled pin from which the parent net was relaxed.
+  std::vector<NodeId> parent_node;
+  /// Settled nodes in settling (nondecreasing distance) order; order[0] is
+  /// the source.
+  std::vector<NodeId> order;
+
+  bool settled(NodeId v) const { return dist[v] != kInfDist; }
+};
+
+/// Visitor outcome after each settled node.
+enum class GrowAction { kContinue, kStop };
+
+/// State handed to the visitor after settling the k-th node (k = order.size()).
+struct GrowState {
+  NodeId node;             ///< the node just settled
+  double distance;         ///< its distance from the source
+  double tree_size;        ///< s(S(v,k)): total node size of settled nodes
+  double weighted_dist;    ///< sum over settled u of s(u) * dist(v,u)
+  std::size_t tree_nodes;  ///< k
+};
+
+/// Runs Dijkstra from `source` with lengths `net_length` (size = num_nets,
+/// entries >= 0). The visitor is called after every settled node (including
+/// the source) and may stop the growth; the returned tree then contains
+/// exactly the settled prefix — the shortest-path tree S(v,k) of the paper.
+ShortestPathTree GrowShortestPathTree(
+    const Hypergraph& hg, NodeId source, std::span<const double> net_length,
+    const std::function<GrowAction(const GrowState&)>& visitor);
+
+/// Full single-source shortest paths (no early stop).
+ShortestPathTree Dijkstra(const Hypergraph& hg, NodeId source,
+                          std::span<const double> net_length);
+
+/// Distinct nets used as parent edges by the settled nodes of `tree` —
+/// the edge set of S(v,k) that Algorithm 2 injects flow on.
+std::vector<NetId> TreeNets(const ShortestPathTree& tree);
+
+/// delta(S(v,k), e) of Equation (6): for every net e in the tree, the total
+/// node size of the subtree hanging below e (the side not containing the
+/// source). Returned as (net, delta) pairs aligned with TreeNets(tree).
+/// Identity checked in tests: sum_e d(e)*delta(e) == sum_u s(u)*dist(v,u).
+std::vector<std::pair<NetId, double>> TreeSubtreeSizes(
+    const Hypergraph& hg, const ShortestPathTree& tree);
+
+}  // namespace htp

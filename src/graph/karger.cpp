@@ -1,0 +1,117 @@
+#include "graph/karger.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/union_find.hpp"
+#include "netlist/rng.hpp"
+#include "netlist/subhypergraph.hpp"
+
+namespace htp {
+namespace {
+
+GlobalCut EvaluateSplit(const Hypergraph& hg, const std::vector<char>& side) {
+  GlobalCut cut;
+  cut.side = side;
+  for (NetId e = 0; e < hg.num_nets(); ++e) {
+    bool zero = false, one = false;
+    for (NodeId v : hg.pins(e)) (side[v] ? one : zero) = true;
+    if (zero && one) {
+      cut.value += hg.net_capacity(e);
+      cut.cut_nets.push_back(e);
+    }
+  }
+  return cut;
+}
+
+}  // namespace
+
+GlobalCut KargerGlobalMinCut(const Hypergraph& hg, std::size_t trials,
+                             std::uint64_t seed) {
+  HTP_CHECK(hg.num_nodes() >= 2);
+  HTP_CHECK(trials >= 1);
+
+  // Disconnected inputs have a free cut along any component boundary.
+  const Components comps = ConnectedComponents(hg);
+  if (comps.count > 1) {
+    std::vector<char> side(hg.num_nodes(), 0);
+    for (NodeId v = 0; v < hg.num_nodes(); ++v)
+      side[v] = comps.component_of[v] == comps.component_of[0] ? 0 : 1;
+    return EvaluateSplit(hg, side);
+  }
+
+  Rng rng(seed);
+  // Capacity prefix sums for proportional net sampling (rejection on nets
+  // that have become internal to one supernode).
+  std::vector<double> prefix(hg.num_nets() + 1, 0.0);
+  for (NetId e = 0; e < hg.num_nets(); ++e)
+    prefix[e + 1] = prefix[e] + hg.net_capacity(e);
+  const double total_capacity = prefix.back();
+  HTP_CHECK_MSG(total_capacity > 0.0, "hypergraph has no nets");
+
+  GlobalCut best;
+  bool have = false;
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    UnionFind uf(hg.num_nodes());
+    std::size_t supernodes = hg.num_nodes();
+    std::size_t stale_draws = 0;
+    // Contracting a whole hyperedge merges span-1 supernodes at once, so a
+    // net is only *contractible* when that leaves at least two.
+    const auto contraction_span = [&](NetId net) {
+      const auto pins = hg.pins(net);
+      std::size_t merges = 0;
+      UnionFind probe = uf;  // cheap at these sizes; keeps uf untouched
+      for (std::size_t i = 1; i < pins.size(); ++i)
+        if (probe.Union(pins[0], pins[i])) ++merges;
+      return merges;
+    };
+    while (supernodes > 2) {
+      // Sample a net proportional to capacity; reject internal or
+      // too-large nets. When rejections pile up, fall back to a scan.
+      const double target = rng.next_double() * total_capacity;
+      const auto it = std::upper_bound(prefix.begin(), prefix.end(), target);
+      NetId e = static_cast<NetId>(
+          std::min<std::size_t>(it - prefix.begin() - 1, hg.num_nets() - 1));
+      std::size_t merges = contraction_span(e);
+      if (merges == 0 || supernodes - merges < 2) {
+        if (++stale_draws < 32) continue;
+        stale_draws = 0;
+        NetId found = kInvalidNet;
+        for (NetId cand = 0; cand < hg.num_nets(); ++cand) {
+          const std::size_t m = contraction_span(cand);
+          if (m > 0 && supernodes - m >= 2) {
+            found = cand;
+            break;
+          }
+        }
+        if (found == kInvalidNet) break;  // every crossing net is too big
+        e = found;
+        merges = contraction_span(e);
+      }
+      const auto pins = hg.pins(e);
+      for (std::size_t i = 1; i < pins.size(); ++i)
+        if (uf.Union(pins[0], pins[i])) --supernodes;
+      stale_draws = 0;
+    }
+    // Two supernodes give the split directly; if giant hyperedges stalled
+    // the contraction earlier, try each remaining supernode against the
+    // rest.
+    std::vector<std::size_t> roots;
+    for (NodeId v = 0; v < hg.num_nodes(); ++v)
+      if (uf.Find(v) == v) roots.push_back(v);
+    for (std::size_t r = 0; r + 1 < std::max<std::size_t>(roots.size(), 2);
+         ++r) {
+      std::vector<char> side(hg.num_nodes(), 0);
+      for (NodeId v = 0; v < hg.num_nodes(); ++v)
+        side[v] = uf.Find(v) == roots[r] ? 1 : 0;
+      GlobalCut cut = EvaluateSplit(hg, side);
+      if (!have || cut.value < best.value) {
+        best = std::move(cut);
+        have = true;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace htp

@@ -1,0 +1,31 @@
+// Karger-style randomized global minimum cut for hypergraphs.
+//
+// The paper's conclusion points at Karger's contraction framework as a
+// better cut-extraction primitive. This is the substrate: repeated random
+// net contractions (selection probability proportional to capacity) until
+// two supernodes remain; the best of `trials` repetitions is returned.
+// With enough trials this finds the global min cut with high probability
+// on graphs; on hypergraphs it is the standard contraction heuristic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/hypergraph.hpp"
+
+namespace htp {
+
+/// A global two-sided cut.
+struct GlobalCut {
+  double value = 0.0;             ///< total capacity of crossing nets
+  std::vector<char> side;         ///< per node: side 0 / 1
+  std::vector<NetId> cut_nets;    ///< nets with pins on both sides
+};
+
+/// Best cut over `trials` random contraction runs. The hypergraph must
+/// have >= 2 nodes; a disconnected input returns a zero cut along a
+/// component boundary immediately.
+GlobalCut KargerGlobalMinCut(const Hypergraph& hg, std::size_t trials,
+                             std::uint64_t seed);
+
+}  // namespace htp

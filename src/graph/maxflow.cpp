@@ -1,0 +1,142 @@
+#include "graph/maxflow.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace htp {
+
+FlowNetwork::FlowNetwork(std::size_t num_vertices) : head_(num_vertices) {}
+
+std::size_t FlowNetwork::AddEdge(std::size_t u, std::size_t v, double cap) {
+  HTP_CHECK(u < head_.size() && v < head_.size());
+  HTP_CHECK(cap >= 0.0);
+  const auto u32 = static_cast<std::uint32_t>(u);
+  const auto v32 = static_cast<std::uint32_t>(v);
+  head_[u].push_back({v32, static_cast<std::uint32_t>(head_[v].size()), cap});
+  head_[v].push_back({u32, static_cast<std::uint32_t>(head_[u].size() - 1), 0.0});
+  edge_ref_.emplace_back(u32, static_cast<std::uint32_t>(head_[u].size() - 1));
+  orig_cap_.push_back(cap);
+  return edge_ref_.size() - 1;
+}
+
+bool FlowNetwork::Bfs(std::size_t s, std::size_t t) {
+  level_.assign(head_.size(), -1);
+  std::queue<std::size_t> frontier;
+  level_[s] = 0;
+  frontier.push(s);
+  while (!frontier.empty()) {
+    const std::size_t v = frontier.front();
+    frontier.pop();
+    for (const Edge& e : head_[v]) {
+      if (e.cap > 0.0 && level_[e.to] < 0) {
+        level_[e.to] = level_[v] + 1;
+        frontier.push(e.to);
+      }
+    }
+  }
+  return level_[t] >= 0;
+}
+
+double FlowNetwork::Dfs(std::size_t v, std::size_t t, double limit) {
+  if (v == t) return limit;
+  for (std::uint32_t& i = iter_[v]; i < head_[v].size(); ++i) {
+    Edge& e = head_[v][i];
+    if (e.cap <= 0.0 || level_[v] + 1 != level_[e.to]) continue;
+    const double pushed = Dfs(e.to, t, std::min(limit, e.cap));
+    if (pushed > 0.0) {
+      e.cap -= pushed;
+      head_[e.to][e.rev].cap += pushed;
+      return pushed;
+    }
+  }
+  return 0.0;
+}
+
+double FlowNetwork::MaxFlow(std::size_t s, std::size_t t) {
+  HTP_CHECK(s < head_.size() && t < head_.size() && s != t);
+  double total = 0.0;
+  while (Bfs(s, t)) {
+    iter_.assign(head_.size(), 0);
+    for (;;) {
+      const double pushed = Dfs(s, t, kInfCapacity);
+      if (pushed <= 0.0) break;
+      total += pushed;
+    }
+  }
+  return total;
+}
+
+double FlowNetwork::flow(std::size_t id) const {
+  HTP_CHECK(id < edge_ref_.size());
+  const auto [v, idx] = edge_ref_[id];
+  return orig_cap_[id] - head_[v][idx].cap;
+}
+
+std::vector<char> FlowNetwork::SourceSide(std::size_t s) const {
+  std::vector<char> side(head_.size(), 0);
+  std::queue<std::size_t> frontier;
+  side[s] = 1;
+  frontier.push(s);
+  while (!frontier.empty()) {
+    const std::size_t v = frontier.front();
+    frontier.pop();
+    for (const Edge& e : head_[v]) {
+      if (e.cap > 0.0 && !side[e.to]) {
+        side[e.to] = 1;
+        frontier.push(e.to);
+      }
+    }
+  }
+  return side;
+}
+
+HyperMinCut HypergraphMinCut(const Hypergraph& hg,
+                             std::span<const NodeId> sources,
+                             std::span<const NodeId> sinks) {
+  HTP_CHECK(!sources.empty() && !sinks.empty());
+  // Vertex layout: [0, n) nodes, then per net e two vertices e_in / e_out,
+  // then super-source S and super-sink T.
+  const std::size_t n = hg.num_nodes();
+  const std::size_t m = hg.num_nets();
+  const std::size_t e_in0 = n;
+  const std::size_t e_out0 = n + m;
+  const std::size_t super_s = n + 2 * m;
+  const std::size_t super_t = super_s + 1;
+  FlowNetwork net(n + 2 * m + 2);
+
+  // Net-splitting model: v -> e_in (inf), e_in -> e_out (c(e)),
+  // e_out -> v (inf) for every pin v — cutting e_in->e_out severs the net.
+  std::vector<std::size_t> bridge(m);
+  for (NetId e = 0; e < m; ++e) {
+    bridge[e] = net.AddEdge(e_in0 + e, e_out0 + e, hg.net_capacity(e));
+    for (NodeId v : hg.pins(e)) {
+      net.AddEdge(v, e_in0 + e, FlowNetwork::kInfCapacity);
+      net.AddEdge(e_out0 + e, v, FlowNetwork::kInfCapacity);
+    }
+  }
+  std::vector<char> is_terminal(n, 0);
+  for (NodeId v : sources) {
+    HTP_CHECK(v < n && !is_terminal[v]);
+    is_terminal[v] = 1;
+    net.AddEdge(super_s, v, FlowNetwork::kInfCapacity);
+  }
+  for (NodeId v : sinks) {
+    HTP_CHECK_MSG(v < n && !is_terminal[v], "source/sink sets must be disjoint");
+    is_terminal[v] = 1;
+    net.AddEdge(v, super_t, FlowNetwork::kInfCapacity);
+  }
+
+  HyperMinCut result;
+  result.cut_value = net.MaxFlow(super_s, super_t);
+  const std::vector<char> side = net.SourceSide(super_s);
+  result.source_side.assign(side.begin(), side.begin() + static_cast<long>(n));
+  for (NetId e = 0; e < m; ++e) {
+    bool has_src = false;
+    bool has_snk = false;
+    for (NodeId v : hg.pins(e)) (result.source_side[v] ? has_src : has_snk) = true;
+    if (has_src && has_snk) result.cut_nets.push_back(e);
+  }
+  return result;
+}
+
+}  // namespace htp

@@ -1,0 +1,60 @@
+#include "graph/prim.hpp"
+
+#include <limits>
+#include <queue>
+
+namespace htp {
+namespace {
+
+struct QueueEntry {
+  double key;
+  NodeId node;
+  NetId via;
+  bool operator>(const QueueEntry& other) const {
+    return key > other.key || (key == other.key && node > other.node);
+  }
+};
+
+}  // namespace
+
+PrimTree GrowPrimTree(const Hypergraph& hg, NodeId start,
+                      std::span<const double> net_length) {
+  HTP_CHECK(start < hg.num_nodes());
+  HTP_CHECK(net_length.size() == hg.num_nets());
+
+  PrimTree tree;
+  tree.attach_net.assign(hg.num_nodes(), kInvalidNet);
+  std::vector<char> in_tree(hg.num_nodes(), 0);
+  std::vector<double> best(hg.num_nodes(), std::numeric_limits<double>::infinity());
+  std::vector<char> net_scanned(hg.num_nets(), 0);
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> queue;
+
+  best[start] = 0.0;
+  queue.push({0.0, start, kInvalidNet});
+  while (!queue.empty()) {
+    const QueueEntry top = queue.top();
+    queue.pop();
+    const NodeId u = top.node;
+    if (in_tree[u] || top.key > best[u]) continue;
+    in_tree[u] = 1;
+    tree.order.push_back(u);
+    tree.attach_net[u] = top.via;
+    if (top.via != kInvalidNet) tree.total_weight += net_length[top.via];
+
+    // A net's offer to all its pins is d(e), independent of which pin joined
+    // first, so each net needs to be scanned once.
+    for (NetId e : hg.nets(u)) {
+      if (net_scanned[e]) continue;
+      net_scanned[e] = 1;
+      const double key = net_length[e];
+      for (NodeId x : hg.pins(e)) {
+        if (in_tree[x] || key >= best[x]) continue;
+        best[x] = key;
+        queue.push({key, x, e});
+      }
+    }
+  }
+  return tree;
+}
+
+}  // namespace htp

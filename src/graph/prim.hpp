@@ -1,0 +1,36 @@
+// Prim minimum spanning tree over a hypergraph with net lengths.
+//
+// Procedure find_cut of the paper grows a node set "following Prim's
+// minimum spanning tree algorithm" under the spreading metric d(e). This
+// module provides the generic Prim growth (attachment order + parent nets +
+// total weight); the cut bookkeeping specific to find_cut lives in
+// core/find_cut.*, which reuses the same attachment rule.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "netlist/hypergraph.hpp"
+
+namespace htp {
+
+/// Result of a Prim growth from a start node.
+struct PrimTree {
+  /// Nodes in attachment order; order[0] is the start node. Covers the whole
+  /// connected component of the start (and only it).
+  std::vector<NodeId> order;
+  /// Per node: the net through which it was attached (kInvalidNet for the
+  /// start node and nodes outside the component).
+  std::vector<NetId> attach_net;
+  /// Sum of attach-net lengths over attached nodes (each attachment pays its
+  /// net's length, i.e. the clique-expansion MST weight).
+  double total_weight = 0.0;
+};
+
+/// Grows a Prim tree from `start`: repeatedly attaches the node whose
+/// cheapest connection (minimum d(e) over nets linking it to the grown set)
+/// is smallest. Ties break toward the smaller node id for determinism.
+PrimTree GrowPrimTree(const Hypergraph& hg, NodeId start,
+                      std::span<const double> net_length);
+
+}  // namespace htp

@@ -1,0 +1,243 @@
+#include "lp/simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace htp {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+// Dense tableau with an explicit priced-out objective row.
+class Tableau {
+ public:
+  Tableau(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * (cols + 1), 0.0),
+        obj_(cols + 1, 0.0), basis_(rows, 0) {}
+
+  double& at(std::size_t r, std::size_t c) { return data_[r * (cols_ + 1) + c]; }
+  double at(std::size_t r, std::size_t c) const {
+    return data_[r * (cols_ + 1) + c];
+  }
+  double& rhs(std::size_t r) { return at(r, cols_); }
+  double rhs(std::size_t r) const { return at(r, cols_); }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::vector<double>& obj() { return obj_; }
+  std::vector<std::size_t>& basis() { return basis_; }
+
+  void Pivot(std::size_t pr, std::size_t pc) {
+    const double pivot = at(pr, pc);
+    HTP_CHECK(std::abs(pivot) > kTol);
+    const double inv = 1.0 / pivot;
+    for (std::size_t c = 0; c <= cols_; ++c) at(pr, c) *= inv;
+    at(pr, pc) = 1.0;
+    for (std::size_t r = 0; r < rows_; ++r) {
+      if (r == pr) continue;
+      const double factor = at(r, pc);
+      if (std::abs(factor) <= kTol) {
+        at(r, pc) = 0.0;
+        continue;
+      }
+      for (std::size_t c = 0; c <= cols_; ++c) at(r, c) -= factor * at(pr, c);
+      at(r, pc) = 0.0;
+    }
+    const double ofactor = obj_[pc];
+    if (std::abs(ofactor) > kTol) {
+      for (std::size_t c = 0; c <= cols_; ++c) obj_[c] -= ofactor * at(pr, c);
+    }
+    obj_[pc] = 0.0;
+    basis_[pr] = pc;
+  }
+
+  // Prices out the given cost vector against the current basis, writing the
+  // reduced-cost row. Banned columns get +infinity so they never enter.
+  void SetObjective(const std::vector<double>& cost,
+                    const std::vector<char>& banned) {
+    std::fill(obj_.begin(), obj_.end(), 0.0);
+    for (std::size_t c = 0; c < cost.size(); ++c) obj_[c] = cost[c];
+    for (std::size_t r = 0; r < rows_; ++r) {
+      const double cb = basis_[r] < cost.size() ? cost[basis_[r]] : 0.0;
+      if (cb == 0.0) continue;
+      for (std::size_t c = 0; c <= cols_; ++c) obj_[c] -= cb * at(r, c);
+    }
+    for (std::size_t c = 0; c < cols_; ++c)
+      if (banned[c]) obj_[c] = std::numeric_limits<double>::infinity();
+  }
+
+  // Runs primal simplex. Dantzig pricing with a stability-biased ratio test
+  // keeps pivot counts and roundoff low; after a generous iteration budget
+  // it falls back to Bland's rule, which cannot cycle. Returns false on
+  // unboundedness.
+  bool Optimize() {
+    const std::size_t bland_after = 50 * (rows_ + cols_) + 1000;
+    for (std::size_t iter = 0;; ++iter) {
+      const bool bland = iter >= bland_after;
+      HTP_CHECK_MSG(iter < 4 * bland_after, "simplex failed to converge");
+      // Entering column: most negative reduced cost (Dantzig), or smallest
+      // index with a negative one (Bland).
+      std::size_t enter = cols_;
+      double most_negative = -kTol;
+      for (std::size_t c = 0; c < cols_; ++c) {
+        if (obj_[c] < most_negative) {
+          enter = c;
+          most_negative = obj_[c];
+          if (bland) break;
+        }
+      }
+      if (enter == cols_) return true;  // optimal
+      // Ratio test: minimum ratio; among near-ties prefer the largest pivot
+      // magnitude (numerical stability) or the smallest basis index (Bland).
+      std::size_t leave = rows_;
+      double best_ratio = std::numeric_limits<double>::infinity();
+      double best_pivot = 0.0;
+      constexpr double kPivTol = 1e-8;
+      for (std::size_t r = 0; r < rows_; ++r) {
+        const double a = at(r, enter);
+        if (a <= kPivTol) continue;
+        const double ratio = std::max(rhs(r), 0.0) / a;
+        const bool tie = leave != rows_ && ratio <= best_ratio + kTol &&
+                         ratio >= best_ratio - kTol;
+        const bool better = ratio < best_ratio - kTol;
+        const bool tie_wins =
+            tie && (bland ? basis_[r] < basis_[leave] : a > best_pivot);
+        if (leave == rows_ || better || tie_wins) {
+          best_ratio = ratio;
+          best_pivot = a;
+          leave = r;
+        }
+      }
+      if (leave == rows_) return false;  // unbounded
+      Pivot(leave, enter);
+    }
+  }
+
+  // Current objective value of the priced-out cost (z = -obj[rhs]).
+  double ObjectiveValue() const { return -obj_[cols_]; }
+
+ private:
+  std::size_t rows_, cols_;
+  std::vector<double> data_;
+  std::vector<double> obj_;
+  std::vector<std::size_t> basis_;
+};
+
+}  // namespace
+
+LpSolution SolveLp(const LpProblem& problem) {
+  HTP_CHECK(problem.objective.size() == problem.num_vars);
+  const std::size_t n = problem.num_vars;
+  const std::size_t m = problem.rows.size();
+  for (const LpRow& row : problem.rows)
+    HTP_CHECK(row.coeffs.size() == n);
+
+  // Column layout: [0, n) structural; then one slack/surplus per inequality
+  // row; then one artificial per row that needs it.
+  std::size_t num_slack = 0;
+  for (const LpRow& row : problem.rows)
+    if (row.rel != Relation::kEqual) ++num_slack;
+
+  // First pass to normalize rhs >= 0 and decide artificials.
+  struct RowPlan {
+    double sign;      // multiply coefficients by this
+    Relation rel;     // relation after normalization
+    bool artificial;  // needs an artificial basic variable
+  };
+  std::vector<RowPlan> plan(m);
+  std::size_t num_art = 0;
+  for (std::size_t i = 0; i < m; ++i) {
+    const LpRow& row = problem.rows[i];
+    double sign = row.rhs < 0.0 ? -1.0 : 1.0;
+    Relation rel = row.rel;
+    if (sign < 0.0) {
+      if (rel == Relation::kLessEqual)
+        rel = Relation::kGreaterEqual;
+      else if (rel == Relation::kGreaterEqual)
+        rel = Relation::kLessEqual;
+    }
+    const bool art = rel != Relation::kLessEqual;
+    plan[i] = {sign, rel, art};
+    if (art) ++num_art;
+  }
+
+  const std::size_t total_cols = n + num_slack + num_art;
+  Tableau tab(m, total_cols);
+  std::vector<char> is_artificial(total_cols, 0);
+
+  std::size_t slack_cursor = n;
+  std::size_t art_cursor = n + num_slack;
+  for (std::size_t i = 0; i < m; ++i) {
+    const LpRow& row = problem.rows[i];
+    const RowPlan& p = plan[i];
+    for (std::size_t j = 0; j < n; ++j) tab.at(i, j) = p.sign * row.coeffs[j];
+    tab.rhs(i) = p.sign * row.rhs;
+    if (p.rel == Relation::kLessEqual) {
+      tab.at(i, slack_cursor) = 1.0;
+      tab.basis()[i] = slack_cursor++;
+    } else if (p.rel == Relation::kGreaterEqual) {
+      tab.at(i, slack_cursor) = -1.0;  // surplus
+      ++slack_cursor;
+    }
+    if (p.artificial) {
+      tab.at(i, art_cursor) = 1.0;
+      is_artificial[art_cursor] = 1;
+      tab.basis()[i] = art_cursor++;
+    }
+  }
+
+  LpSolution solution;
+
+  // Phase 1: minimize the sum of artificials.
+  if (num_art > 0) {
+    std::vector<double> phase1_cost(total_cols, 0.0);
+    for (std::size_t c = 0; c < total_cols; ++c)
+      if (is_artificial[c]) phase1_cost[c] = 1.0;
+    tab.SetObjective(phase1_cost, std::vector<char>(total_cols, 0));
+    const bool bounded = tab.Optimize();
+    HTP_CHECK_MSG(bounded, "phase-1 objective cannot be unbounded");
+    if (tab.ObjectiveValue() > 1e-7) {
+      solution.status = LpStatus::kInfeasible;
+      return solution;
+    }
+    // Drive artificials out of the basis (or neutralize redundant rows) so
+    // phase 2 cannot re-grow them.
+    for (std::size_t r = 0; r < m; ++r) {
+      if (!is_artificial[tab.basis()[r]]) continue;
+      std::size_t pivot_col = total_cols;
+      for (std::size_t c = 0; c < total_cols; ++c) {
+        if (!is_artificial[c] && std::abs(tab.at(r, c)) > 1e-7) {
+          pivot_col = c;
+          break;
+        }
+      }
+      if (pivot_col < total_cols) {
+        tab.Pivot(r, pivot_col);
+      } else {
+        // Redundant row: zero it so it never constrains anything again.
+        for (std::size_t c = 0; c <= total_cols; ++c) tab.at(r, c) = 0.0;
+      }
+    }
+  }
+
+  // Phase 2: the true objective; artificial columns are banned from entry.
+  std::vector<double> cost(total_cols, 0.0);
+  for (std::size_t j = 0; j < n; ++j) cost[j] = problem.objective[j];
+  tab.SetObjective(cost, is_artificial);
+  if (!tab.Optimize()) {
+    solution.status = LpStatus::kUnbounded;
+    return solution;
+  }
+
+  solution.status = LpStatus::kOptimal;
+  solution.x.assign(n, 0.0);
+  for (std::size_t r = 0; r < m; ++r)
+    if (tab.basis()[r] < n) solution.x[tab.basis()[r]] = tab.rhs(r);
+  solution.objective = 0.0;
+  for (std::size_t j = 0; j < n; ++j)
+    solution.objective += problem.objective[j] * solution.x[j];
+  return solution;
+}
+
+}  // namespace htp

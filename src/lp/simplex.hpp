@@ -1,0 +1,47 @@
+// Dense two-phase primal simplex.
+//
+// Solves  min c^T x  subject to  a_i^T x {<=, >=, ==} b_i,  x >= 0.
+//
+// Purpose-built for the exact spreading-metric LP (P1) on small instances
+// (tens of variables, hundreds of generated cuts): Phase 1 drives artificial
+// variables out with Bland's rule (no cycling), Phase 2 optimizes the true
+// objective. Not a production-scale LP code — the paper never solves (P1)
+// exactly either; we use this to *audit* the heuristics (Lemma 2 bounds).
+#pragma once
+
+#include <vector>
+
+#include "netlist/common.hpp"
+
+namespace htp {
+
+/// Constraint sense.
+enum class Relation { kLessEqual, kGreaterEqual, kEqual };
+
+/// One linear constraint a^T x (rel) rhs.
+struct LpRow {
+  std::vector<double> coeffs;  ///< size = num_vars (dense)
+  Relation rel = Relation::kGreaterEqual;
+  double rhs = 0.0;
+};
+
+/// min objective^T x subject to rows, x >= 0.
+struct LpProblem {
+  std::size_t num_vars = 0;
+  std::vector<double> objective;  ///< size = num_vars
+  std::vector<LpRow> rows;
+};
+
+enum class LpStatus { kOptimal, kInfeasible, kUnbounded };
+
+/// Solution of an LpProblem.
+struct LpSolution {
+  LpStatus status = LpStatus::kInfeasible;
+  double objective = 0.0;
+  std::vector<double> x;  ///< primal values (valid when kOptimal)
+};
+
+/// Solves the LP with dense tableau simplex (Bland's rule, 1e-9 tolerance).
+LpSolution SolveLp(const LpProblem& problem);
+
+}  // namespace htp

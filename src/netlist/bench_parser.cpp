@@ -1,0 +1,196 @@
+#include "netlist/bench_parser.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+namespace htp {
+namespace {
+
+struct GateDef {
+  std::string output;
+  std::string type;
+  std::vector<std::string> inputs;
+};
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front())))
+    s.remove_prefix(1);
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back())))
+    s.remove_suffix(1);
+  return s;
+}
+
+[[noreturn]] void ParseFail(std::size_t line_no, const std::string& msg) {
+  throw Error("bench parse error at line " + std::to_string(line_no) + ": " +
+              msg);
+}
+
+// Extracts the argument list between the first '(' and the last ')'.
+std::vector<std::string> SplitArgs(std::string_view inside, std::size_t line_no) {
+  std::vector<std::string> args;
+  std::size_t start = 0;
+  while (start <= inside.size()) {
+    std::size_t comma = inside.find(',', start);
+    std::string_view piece = comma == std::string_view::npos
+                                 ? inside.substr(start)
+                                 : inside.substr(start, comma - start);
+    piece = Trim(piece);
+    if (piece.empty()) {
+      if (comma == std::string_view::npos && args.empty()) break;
+      ParseFail(line_no, "empty signal name in argument list");
+    }
+    args.emplace_back(piece);
+    if (comma == std::string_view::npos) break;
+    start = comma + 1;
+  }
+  return args;
+}
+
+}  // namespace
+
+BenchCircuit ParseBench(std::string_view text, const BenchParseOptions& options) {
+  std::vector<std::string> primary_inputs;
+  std::vector<std::string> primary_outputs;
+  std::vector<GateDef> gates;
+
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    std::string_view line = eol == std::string_view::npos
+                                ? text.substr(pos)
+                                : text.substr(pos, eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++line_no;
+    if (std::size_t hash = line.find('#'); hash != std::string_view::npos)
+      line = line.substr(0, hash);
+    line = Trim(line);
+    if (line.empty()) continue;
+
+    std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      // INPUT(x) or OUTPUT(x)
+      std::size_t lp = line.find('(');
+      std::size_t rp = line.rfind(')');
+      if (lp == std::string_view::npos || rp == std::string_view::npos ||
+          rp < lp)
+        ParseFail(line_no, "expected INPUT(...)/OUTPUT(...) or assignment");
+      std::string kw(Trim(line.substr(0, lp)));
+      std::transform(kw.begin(), kw.end(), kw.begin(),
+                     [](unsigned char c) { return std::toupper(c); });
+      std::string sig(Trim(line.substr(lp + 1, rp - lp - 1)));
+      if (sig.empty()) ParseFail(line_no, "empty signal name");
+      if (kw == "INPUT")
+        primary_inputs.push_back(sig);
+      else if (kw == "OUTPUT")
+        primary_outputs.push_back(sig);
+      else
+        ParseFail(line_no, "unknown directive '" + kw + "'");
+      continue;
+    }
+
+    GateDef g;
+    g.output = std::string(Trim(line.substr(0, eq)));
+    if (g.output.empty()) ParseFail(line_no, "empty gate output name");
+    std::string_view rhs = Trim(line.substr(eq + 1));
+    std::size_t lp = rhs.find('(');
+    std::size_t rp = rhs.rfind(')');
+    if (lp == std::string_view::npos || rp == std::string_view::npos || rp < lp)
+      ParseFail(line_no, "expected GATE(args)");
+    g.type = std::string(Trim(rhs.substr(0, lp)));
+    std::transform(g.type.begin(), g.type.end(), g.type.begin(),
+                   [](unsigned char c) { return std::toupper(c); });
+    if (g.type.empty()) ParseFail(line_no, "missing gate type");
+    g.inputs = SplitArgs(rhs.substr(lp + 1, rp - lp - 1), line_no);
+    if (g.inputs.empty()) ParseFail(line_no, "gate with no inputs");
+    gates.push_back(std::move(g));
+  }
+
+  // Signal table: driver (gate index, PI marker) per signal.
+  constexpr std::size_t kDriverPi = static_cast<std::size_t>(-2);
+  std::unordered_map<std::string, std::size_t> driver;  // signal -> gate idx
+  for (const std::string& pi : primary_inputs) {
+    if (!driver.emplace(pi, kDriverPi).second)
+      throw Error("bench: duplicate INPUT '" + pi + "'");
+  }
+  for (std::size_t i = 0; i < gates.size(); ++i) {
+    if (!driver.emplace(gates[i].output, i).second)
+      throw Error("bench: signal '" + gates[i].output + "' defined twice");
+  }
+  for (const GateDef& g : gates)
+    for (const std::string& in : g.inputs)
+      if (!driver.count(in))
+        throw Error("bench: undefined signal '" + in + "' used by gate '" +
+                    g.output + "'");
+  for (const std::string& po : primary_outputs)
+    if (!driver.count(po))
+      throw Error("bench: undefined OUTPUT signal '" + po + "'");
+
+  // Build the hypergraph: one node per gate (and per pad when requested);
+  // one net per signal = {driver} U {sinks}.
+  BenchCircuit out;
+  out.num_gates = gates.size();
+  out.num_primary_inputs = primary_inputs.size();
+  out.num_primary_outputs = primary_outputs.size();
+
+  HypergraphBuilder builder;
+  std::vector<NodeId> gate_node(gates.size());
+  for (std::size_t i = 0; i < gates.size(); ++i)
+    gate_node[i] = builder.add_node(1.0, gates[i].output);
+  std::unordered_map<std::string, NodeId> pad_node;
+  if (options.include_pads) {
+    for (const std::string& pi : primary_inputs)
+      pad_node.emplace(pi, builder.add_node(1.0, "pad:" + pi));
+  }
+
+  // Sinks per signal.
+  std::unordered_map<std::string, std::vector<NodeId>> net_pins;
+  for (std::size_t i = 0; i < gates.size(); ++i)
+    for (const std::string& in : gates[i].inputs)
+      net_pins[in].push_back(gate_node[i]);
+
+  for (auto& [signal, sinks] : net_pins) {
+    std::size_t drv = driver.at(signal);
+    if (drv == kDriverPi) {
+      if (options.include_pads) sinks.push_back(pad_node.at(signal));
+    } else {
+      sinks.push_back(gate_node[drv]);
+    }
+    builder.add_net(sinks, 1.0, signal);  // < 2 distinct pins auto-dropped
+  }
+  out.hg = builder.build();
+  return out;
+}
+
+BenchCircuit ParseBenchFile(const std::string& path,
+                            const BenchParseOptions& options) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open bench file: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ParseBench(ss.str(), options);
+}
+
+std::string_view C17BenchText() {
+  return R"(# c17 — smallest ISCAS85 benchmark
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+)";
+}
+
+}  // namespace htp

@@ -1,0 +1,54 @@
+// ISCAS85/ISCAS89 `.bench` netlist parser.
+//
+// The MCNC/ISCAS85 benchmark circuits the paper evaluates (c1355..c7552)
+// are distributed in this textual format:
+//
+//   # comment
+//   INPUT(G1)
+//   OUTPUT(G22)
+//   G10 = NAND(G1, G3)
+//   G11 = DFF(G10)           # ISCAS89 sequential cells also accepted
+//
+// Conversion to a partitioning hypergraph follows the usual convention of
+// the netlist-partitioning literature: each *gate* becomes a node of size 1;
+// each signal with at least two connected gates becomes a net whose pins are
+// the driver gate and all fan-out gates. Primary inputs/outputs become pad
+// nodes only when `options.include_pads` is set; otherwise a PI signal with
+// fan-out >= 2 still yields a net over its sink gates.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "netlist/hypergraph.hpp"
+
+namespace htp {
+
+/// Conversion options for .bench parsing.
+struct BenchParseOptions {
+  /// Model primary inputs and outputs as zero-fanin pad nodes (size 1).
+  bool include_pads = false;
+};
+
+/// Parse result: the hypergraph plus raw element counts.
+struct BenchCircuit {
+  Hypergraph hg;
+  std::size_t num_gates = 0;
+  std::size_t num_primary_inputs = 0;
+  std::size_t num_primary_outputs = 0;
+};
+
+/// Parses .bench text. Throws htp::Error with a line number on bad syntax,
+/// undefined signals, or duplicate definitions.
+BenchCircuit ParseBench(std::string_view text,
+                        const BenchParseOptions& options = {});
+
+/// Parses a .bench file from disk. Throws htp::Error when unreadable.
+BenchCircuit ParseBenchFile(const std::string& path,
+                            const BenchParseOptions& options = {});
+
+/// The 6-gate ISCAS85 "c17" circuit, embedded for tests and examples.
+std::string_view C17BenchText();
+
+}  // namespace htp

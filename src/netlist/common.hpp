@@ -1,0 +1,59 @@
+// Common identifiers and checking utilities shared by every htp module.
+//
+// The library follows an index-based (CSR) style common in EDA tools: nodes
+// and nets are dense 32-bit indices into flat arrays, never pointers. All
+// invariant violations raise htp::Error so tests can assert on them and so a
+// Release build never silently corrupts a partition.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace htp {
+
+/// Dense index of a node (cell/gate) in a Hypergraph.
+using NodeId = std::uint32_t;
+/// Dense index of a net (hyperedge) in a Hypergraph.
+using NetId = std::uint32_t;
+/// Dense index of a block (tree vertex) in a TreePartition.
+using BlockId = std::uint32_t;
+/// Hierarchy level; leaves live at level 0.
+using Level = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+inline constexpr NetId kInvalidNet = std::numeric_limits<NetId>::max();
+inline constexpr BlockId kInvalidBlock = std::numeric_limits<BlockId>::max();
+
+/// Exception thrown on any violated precondition or invariant.
+class Error : public std::logic_error {
+ public:
+  explicit Error(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void RaiseCheckFailure(const char* expr, const char* file,
+                                           int line, const std::string& msg) {
+  std::string full = std::string("HTP_CHECK failed: ") + expr + " at " + file +
+                     ":" + std::to_string(line);
+  if (!msg.empty()) full += " — " + msg;
+  throw Error(full);
+}
+}  // namespace detail
+
+/// Always-on invariant check (active in Release); throws htp::Error.
+#define HTP_CHECK(expr)                                                   \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::htp::detail::RaiseCheckFailure(#expr, __FILE__, __LINE__, "");    \
+  } while (false)
+
+/// Always-on invariant check with an explanatory message.
+#define HTP_CHECK_MSG(expr, msg)                                          \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::htp::detail::RaiseCheckFailure(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+}  // namespace htp

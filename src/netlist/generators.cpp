@@ -1,0 +1,330 @@
+#include "netlist/generators.hpp"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/rng.hpp"
+#include "netlist/subhypergraph.hpp"
+
+namespace htp {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Rent-style generator
+// ---------------------------------------------------------------------------
+
+// The implicit placement hierarchy over gate indices [0, n): a balanced
+// binary recursion; the region of gate g at depth d above the leaves is the
+// aligned index range containing g. Regions are contiguous, so "earlier
+// gates in region R" is a prefix query.
+struct RegionTree {
+  std::size_t num_gates;
+  std::size_t leaf_gates;
+  int depth;  // leaf regions at depth `depth`; root at depth 0
+
+  RegionTree(std::size_t n, std::size_t leaf) : num_gates(n), leaf_gates(leaf) {
+    depth = 0;
+    std::size_t span = n;
+    while (span > leaf) {
+      span = (span + 1) / 2;
+      ++depth;
+    }
+  }
+
+  // [lo, hi) of the region containing `g` at `levels_up` above the leaf.
+  std::pair<std::size_t, std::size_t> Region(std::size_t g,
+                                             int levels_up) const {
+    const int d = std::max(0, depth - levels_up);
+    // Split [0, n) recursively d times, following g.
+    std::size_t lo = 0, hi = num_gates;
+    for (int i = 0; i < d; ++i) {
+      const std::size_t mid = lo + (hi - lo + 1) / 2;
+      if (g < mid)
+        hi = mid;
+      else
+        lo = mid;
+    }
+    return {lo, hi};
+  }
+};
+
+}  // namespace
+
+Hypergraph RentCircuit(const RentCircuitParams& params) {
+  HTP_CHECK_MSG(params.num_gates >= 2, "need at least 2 gates");
+  HTP_CHECK_MSG(params.num_primary_inputs >= 1, "need at least 1 input");
+  HTP_CHECK(params.escape_probability >= 0.0 &&
+            params.escape_probability <= 1.0);
+  Rng rng(params.seed);
+
+  const std::size_t n = params.num_gates;
+  const std::size_t npi = params.num_primary_inputs;
+  RegionTree regions(n, std::max<std::size_t>(2, params.leaf_region_gates));
+
+  // Home leaf region index of each primary input: spread uniformly over the
+  // gate index space so early regions also have sources.
+  std::vector<std::size_t> pi_home(npi);
+  for (std::size_t i = 0; i < npi; ++i)
+    pi_home[i] = static_cast<std::size_t>(rng.next_below(n));
+  // pi ids sorted by home position for range queries.
+  std::vector<std::size_t> pi_order(npi);
+  for (std::size_t i = 0; i < npi; ++i) pi_order[i] = i;
+  std::sort(pi_order.begin(), pi_order.end(),
+            [&](std::size_t a, std::size_t b) { return pi_home[a] < pi_home[b]; });
+  std::vector<std::size_t> pi_home_sorted(npi);
+  for (std::size_t i = 0; i < npi; ++i) pi_home_sorted[i] = pi_home[pi_order[i]];
+
+  // Signal numbering: 0..npi-1 are primary inputs, npi+g is gate g's output.
+  std::vector<std::vector<NodeId>> sinks(npi + n);
+
+  auto pis_in = [&](std::size_t lo, std::size_t hi) {
+    auto first = std::lower_bound(pi_home_sorted.begin(), pi_home_sorted.end(), lo);
+    auto last = std::lower_bound(pi_home_sorted.begin(), pi_home_sorted.end(), hi);
+    return std::pair<std::size_t, std::size_t>(
+        static_cast<std::size_t>(first - pi_home_sorted.begin()),
+        static_cast<std::size_t>(last - pi_home_sorted.begin()));
+  };
+
+  for (std::size_t g = 0; g < n; ++g) {
+    // Fan-in: 2 plus a geometric tail.
+    std::size_t fanin = 2;
+    while (fanin < 5 && rng.next_bool(params.fanin_tail)) ++fanin;
+
+    std::vector<std::size_t> chosen;  // signal ids, distinct
+    for (std::size_t k = 0; k < fanin; ++k) {
+      // Walk up from the leaf region with the escape probability; also keep
+      // escalating while the region offers no source at all.
+      int levels_up = 0;
+      while (levels_up < regions.depth &&
+             rng.next_bool(params.escape_probability))
+        ++levels_up;
+      std::size_t signal = static_cast<std::size_t>(-1);
+      for (; levels_up <= regions.depth; ++levels_up) {
+        auto [lo, hi] = regions.Region(g, levels_up);
+        const std::size_t gates_avail = g > lo ? g - lo : 0;  // earlier gates
+        auto [pi_lo, pi_hi] = pis_in(lo, hi);
+        const std::size_t pis_avail = pi_hi - pi_lo;
+        const std::size_t total = gates_avail + pis_avail;
+        if (total == 0) continue;  // escalate further
+        const std::size_t pick = static_cast<std::size_t>(rng.next_below(total));
+        signal = pick < gates_avail
+                     ? npi + lo + pick
+                     : pi_order[pi_lo + (pick - gates_avail)];
+        break;
+      }
+      if (signal == static_cast<std::size_t>(-1))
+        signal = static_cast<std::size_t>(rng.next_below(npi));  // g == 0 case
+      if (std::find(chosen.begin(), chosen.end(), signal) == chosen.end())
+        chosen.push_back(signal);
+    }
+    for (std::size_t s : chosen) sinks[s].push_back(static_cast<NodeId>(g));
+  }
+
+  HypergraphBuilder builder;
+  for (std::size_t g = 0; g < n; ++g)
+    builder.add_node(1.0, "g" + std::to_string(g));
+  // Nets: PI signals connect only their sinks; gate signals connect the
+  // driver and its sinks. Nets with < 2 distinct pins are dropped by the
+  // builder, mirroring the .bench conversion.
+  for (std::size_t s = 0; s < npi; ++s)
+    builder.add_net(sinks[s], 1.0, "pi" + std::to_string(s));
+  for (std::size_t g = 0; g < n; ++g) {
+    std::vector<NodeId> pins = sinks[npi + g];
+    pins.push_back(static_cast<NodeId>(g));
+    builder.add_net(pins, 1.0, "n" + std::to_string(g));
+  }
+  Hypergraph hg = builder.build();
+
+  // Dropped single-pin nets (e.g. a PI feeding one gate whose output is
+  // unused) can isolate gates; stitch the components together with local
+  // 2-pin nets so the netlist is one connected circuit, as a real design is.
+  const Components comps = ConnectedComponents(hg);
+  if (comps.count <= 1) return hg;
+  HypergraphBuilder stitched;
+  for (NodeId v = 0; v < hg.num_nodes(); ++v)
+    stitched.add_node(hg.node_size(v), hg.node_name(v));
+  for (NetId e = 0; e < hg.num_nets(); ++e) {
+    const auto pins = hg.pins(e);
+    stitched.add_net(std::vector<NodeId>(pins.begin(), pins.end()),
+                     hg.net_capacity(e), hg.net_name(e));
+  }
+  std::vector<NodeId> representative(comps.count, kInvalidNode);
+  for (NodeId v = 0; v < hg.num_nodes(); ++v)
+    if (representative[comps.component_of[v]] == kInvalidNode)
+      representative[comps.component_of[v]] = v;
+  // Link each component's lowest-index node to its index predecessor, which
+  // necessarily belongs to a component with a lower representative; by
+  // induction every component reaches node 0's. Adjacent indices share a
+  // leaf region, so stitches stay local.
+  for (NodeId c = 0; c < comps.count; ++c) {
+    const NodeId v = representative[c];
+    if (v == 0) continue;
+    stitched.add_net({v - 1, v}, 1.0, "stitch" + std::to_string(c));
+  }
+  return stitched.build();
+}
+
+// ---------------------------------------------------------------------------
+// Array multiplier (c6288-like)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Builds NOR-cell netlists. Signals are integer ids; id -1 means "none".
+class MultBuilder {
+ public:
+  using Sig = int;
+
+  Sig new_input(const std::string& name) {
+    sig_driver_.push_back(-1);
+    sig_name_.push_back(name);
+    return static_cast<Sig>(sig_driver_.size() - 1);
+  }
+
+  // 2-input NOR gate; returns its output signal.
+  Sig nor2(Sig a, Sig b) {
+    const NodeId gate = next_gate_++;
+    gate_inputs_.push_back({a, b});
+    sig_driver_.push_back(static_cast<int>(gate));
+    sig_name_.push_back("w" + std::to_string(sig_driver_.size()));
+    return static_cast<Sig>(sig_driver_.size() - 1);
+  }
+
+  // Full adder as 9 NOR gates (c6288-style cell, connectivity-accurate).
+  std::pair<Sig, Sig> full_adder(Sig a, Sig b, Sig cin) {
+    const Sig n1 = nor2(a, b);
+    const Sig n2 = nor2(a, n1);
+    const Sig n3 = nor2(b, n1);
+    const Sig n4 = nor2(n2, n3);
+    const Sig n5 = nor2(n4, cin);
+    const Sig n6 = nor2(n4, n5);
+    const Sig n7 = nor2(cin, n5);
+    const Sig sum = nor2(n6, n7);
+    const Sig carry = nor2(n1, n5);
+    return {sum, carry};
+  }
+
+  // Half adder as 4 NOR gates.
+  std::pair<Sig, Sig> half_adder(Sig a, Sig b) {
+    const Sig n1 = nor2(a, b);
+    const Sig n2 = nor2(a, n1);
+    const Sig n3 = nor2(b, n1);
+    const Sig sum = nor2(n2, n3);
+    return {sum, n1};  // n1 reused as the (inverted) carry rail
+  }
+
+  // AND as a single 2-input gate (partial-product cell).
+  Sig and2(Sig a, Sig b) { return nor2(a, b); }
+
+  Hypergraph build() {
+    HypergraphBuilder builder;
+    for (NodeId g = 0; g < next_gate_; ++g)
+      builder.add_node(1.0, "m" + std::to_string(g));
+    // Nets: one per signal = driver gate (if any) + sink gates.
+    std::vector<std::vector<NodeId>> pins(sig_driver_.size());
+    for (NodeId g = 0; g < next_gate_; ++g)
+      for (Sig in : gate_inputs_[g])
+        pins[static_cast<std::size_t>(in)].push_back(g);
+    for (std::size_t s = 0; s < sig_driver_.size(); ++s) {
+      if (sig_driver_[s] >= 0)
+        pins[s].push_back(static_cast<NodeId>(sig_driver_[s]));
+      builder.add_net(pins[s], 1.0, sig_name_[s]);
+    }
+    return builder.build();
+  }
+
+  NodeId num_gates() const { return next_gate_; }
+
+ private:
+  NodeId next_gate_ = 0;
+  std::vector<std::array<Sig, 2>> gate_inputs_;
+  std::vector<int> sig_driver_;  // -1 for primary inputs
+  std::vector<std::string> sig_name_;
+};
+
+}  // namespace
+
+Hypergraph ArrayMultiplier(std::size_t bits) {
+  HTP_CHECK_MSG(bits >= 2, "multiplier needs >= 2 bits");
+  const std::size_t B = bits;
+  MultBuilder mb;
+  std::vector<MultBuilder::Sig> a(B), b(B);
+  for (std::size_t i = 0; i < B; ++i) a[i] = mb.new_input("a" + std::to_string(i));
+  for (std::size_t i = 0; i < B; ++i) b[i] = mb.new_input("b" + std::to_string(i));
+
+  // Partial products pp[i][j] = a[j] AND b[i].
+  std::vector<std::vector<MultBuilder::Sig>> pp(B, std::vector<MultBuilder::Sig>(B));
+  for (std::size_t i = 0; i < B; ++i)
+    for (std::size_t j = 0; j < B; ++j) pp[i][j] = mb.and2(a[j], b[i]);
+
+  // Carry-save array: row 0 passes pp[0][*] down; each later row i adds
+  // pp[i][*] to the incoming sums with the carries of row i-1.
+  std::vector<MultBuilder::Sig> sum(B), carry(B, -1);
+  for (std::size_t j = 0; j < B; ++j) sum[j] = pp[0][j];
+  for (std::size_t i = 1; i < B; ++i) {
+    std::vector<MultBuilder::Sig> nsum(B), ncarry(B);
+    for (std::size_t j = 0; j < B; ++j) {
+      const MultBuilder::Sig shifted_sum = (j + 1 < B) ? sum[j + 1] : pp[i][j];
+      const MultBuilder::Sig addend = (j + 1 < B) ? pp[i][j] : -1;
+      if (carry[j] < 0) {
+        auto [s, c] = mb.half_adder(shifted_sum, addend < 0 ? sum[j] : addend);
+        nsum[j] = s;
+        ncarry[j] = c;
+      } else if (addend < 0) {
+        auto [s, c] = mb.half_adder(shifted_sum, carry[j]);
+        nsum[j] = s;
+        ncarry[j] = c;
+      } else {
+        auto [s, c] = mb.full_adder(shifted_sum, addend, carry[j]);
+        nsum[j] = s;
+        ncarry[j] = c;
+      }
+    }
+    sum = std::move(nsum);
+    carry = std::move(ncarry);
+  }
+  // Final carry-propagate (ripple) row.
+  MultBuilder::Sig ripple = -1;
+  for (std::size_t j = 1; j < B; ++j) {
+    if (ripple < 0) {
+      auto [s, c] = mb.half_adder(sum[j], carry[j - 1]);
+      (void)s;
+      ripple = c;
+    } else {
+      auto [s, c] = mb.full_adder(sum[j], carry[j - 1], ripple);
+      (void)s;
+      ripple = c;
+    }
+  }
+  return mb.build();
+}
+
+// ---------------------------------------------------------------------------
+// Calibrated suite
+// ---------------------------------------------------------------------------
+
+const std::vector<SuiteEntry>& Iscas85Suite() {
+  // Published ISCAS85 gate and primary-input counts.
+  static const std::vector<SuiteEntry> kSuite = {
+      {"c1355", 546, 41},  {"c2670", 1193, 233}, {"c3540", 1669, 50},
+      {"c6288", 2416, 32}, {"c7552", 3512, 207},
+  };
+  return kSuite;
+}
+
+Hypergraph MakeIscas85Like(const std::string& name, std::uint64_t seed) {
+  if (name == "c6288") return ArrayMultiplier(16);
+  for (const SuiteEntry& entry : Iscas85Suite()) {
+    if (entry.name != name) continue;
+    RentCircuitParams params;
+    params.num_gates = entry.target_gates;
+    params.num_primary_inputs = entry.target_inputs;
+    params.seed = seed ^ std::hash<std::string>{}(name);
+    return RentCircuit(params);
+  }
+  throw Error("unknown ISCAS85-like circuit: " + name);
+}
+
+}  // namespace htp

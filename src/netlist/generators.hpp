@@ -1,0 +1,69 @@
+// Synthetic circuit generators.
+//
+// The paper evaluates on five MCNC/ISCAS85 circuits (c1355, c2670, c3540,
+// c6288, c7552) that are not shipped with this repository. Two generators
+// stand in for them (see DESIGN.md, substitution record):
+//
+//  * RentCircuit — a levelized random combinational circuit with an explicit
+//    placement hierarchy and per-level escape probability. Nets are mostly
+//    local to a region and escape upward with geometric probability, which
+//    reproduces the Rent-rule locality real circuits exhibit and that
+//    spreading-metric/flow methods exploit.
+//  * ArrayMultiplier — a structural B x B carry-save array multiplier built
+//    from NOR-decomposed half/full-adder cells, reproducing the regular 2-D
+//    grid connectivity of c6288 (the one circuit on which the paper reports
+//    FLOW losing to the FM baselines).
+//
+// Both are deterministic given their seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/hypergraph.hpp"
+
+namespace htp {
+
+/// Parameters of the Rent-style random circuit generator.
+struct RentCircuitParams {
+  std::size_t num_gates = 1000;
+  std::size_t num_primary_inputs = 50;
+  /// Probability that an input connection escapes one more level of the
+  /// placement hierarchy (smaller = more local nets, stronger clustering).
+  double escape_probability = 0.25;
+  /// Average gate fan-in is drawn from {2,3,4,5} with geometrically
+  /// decreasing weights controlled by this tail probability.
+  double fanin_tail = 0.15;
+  /// Gates per leaf region of the implicit placement hierarchy.
+  std::size_t leaf_region_gates = 16;
+  std::uint64_t seed = 1;
+};
+
+/// Generates a Rent-style random combinational circuit. Gates are nodes of
+/// size 1; nets connect each driving signal (gate output or primary input)
+/// to its fan-out gates; signals with fewer than two connected gates are
+/// dropped, as in the .bench conversion.
+Hypergraph RentCircuit(const RentCircuitParams& params);
+
+/// Generates a B x B carry-save array multiplier from NOR-decomposed adder
+/// cells (connectivity-accurate stand-in for c6288's structure; the cell
+/// internals are not logic-verified). `bits` must be >= 2.
+Hypergraph ArrayMultiplier(std::size_t bits);
+
+/// Metadata of one circuit in the calibrated ISCAS85-like suite.
+struct SuiteEntry {
+  std::string name;           // e.g. "c2670"
+  std::size_t target_gates;   // published ISCAS85 gate count
+  std::size_t target_inputs;  // published primary-input count
+};
+
+/// The five-circuit suite of the paper's Tables 1-3, in paper order.
+const std::vector<SuiteEntry>& Iscas85Suite();
+
+/// Builds the ISCAS85-like stand-in for `name` ("c1355".."c7552").
+/// c6288 maps to ArrayMultiplier(16); the others to RentCircuit with the
+/// published gate/input counts. Throws htp::Error for unknown names.
+Hypergraph MakeIscas85Like(const std::string& name, std::uint64_t seed = 1997);
+
+}  // namespace htp

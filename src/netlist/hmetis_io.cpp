@@ -1,0 +1,150 @@
+#include "netlist/hmetis_io.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace htp {
+namespace {
+
+[[noreturn]] void Fail(std::size_t line_no, const std::string& msg) {
+  throw Error("hgr parse error at line " + std::to_string(line_no) + ": " +
+              msg);
+}
+
+// Reads the next non-comment, non-empty line; returns false at EOF.
+bool NextLine(std::istream& in, std::string& line, std::size_t& line_no) {
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    if (line[first] == '%') continue;
+    return true;
+  }
+  return false;
+}
+
+void EmitWeight(std::ostringstream& os, double w) {
+  if (w == std::floor(w) && std::abs(w) < 1e15)
+    os << static_cast<long long>(w);
+  else
+    os << w;
+}
+
+}  // namespace
+
+Hypergraph ParseHmetis(std::string_view text) {
+  std::istringstream in{std::string(text)};
+  std::string line;
+  std::size_t line_no = 0;
+
+  if (!NextLine(in, line, line_no)) Fail(line_no, "empty input");
+  std::istringstream header(line);
+  long long num_nets = 0, num_nodes = 0;
+  int fmt = 0;
+  if (!(header >> num_nets >> num_nodes)) Fail(line_no, "bad header");
+  header >> fmt;  // optional
+  if (num_nets < 0 || num_nodes < 0) Fail(line_no, "negative counts");
+  if (fmt != 0 && fmt != 1 && fmt != 10 && fmt != 11)
+    Fail(line_no, "unsupported fmt " + std::to_string(fmt));
+  const bool net_weights = fmt == 1 || fmt == 11;
+  const bool node_weights = fmt == 10 || fmt == 11;
+
+  struct NetLine {
+    double capacity;
+    std::vector<NodeId> pins;
+  };
+  std::vector<NetLine> nets;
+  nets.reserve(static_cast<std::size_t>(num_nets));
+  for (long long e = 0; e < num_nets; ++e) {
+    if (!NextLine(in, line, line_no)) Fail(line_no, "missing net line");
+    std::istringstream ls(line);
+    NetLine net;
+    net.capacity = 1.0;
+    if (net_weights && !(ls >> net.capacity))
+      Fail(line_no, "missing net weight");
+    long long pin = 0;
+    while (ls >> pin) {
+      if (pin < 1 || pin > num_nodes)
+        Fail(line_no, "pin " + std::to_string(pin) + " out of range");
+      net.pins.push_back(static_cast<NodeId>(pin - 1));
+    }
+    if (!ls.eof()) Fail(line_no, "trailing junk on net line");
+    if (net.capacity <= 0.0) Fail(line_no, "net weight must be positive");
+    nets.push_back(std::move(net));
+  }
+
+  std::vector<double> sizes(static_cast<std::size_t>(num_nodes), 1.0);
+  if (node_weights) {
+    for (long long v = 0; v < num_nodes; ++v) {
+      if (!NextLine(in, line, line_no)) Fail(line_no, "missing node weight");
+      std::istringstream ls(line);
+      if (!(ls >> sizes[static_cast<std::size_t>(v)]))
+        Fail(line_no, "bad node weight");
+      if (sizes[static_cast<std::size_t>(v)] <= 0.0)
+        Fail(line_no, "node weight must be positive");
+    }
+  }
+  if (NextLine(in, line, line_no)) Fail(line_no, "trailing content");
+
+  HypergraphBuilder builder;
+  for (double s : sizes) builder.add_node(s);
+  for (const NetLine& net : nets) builder.add_net(net.pins, net.capacity);
+  return builder.build();
+}
+
+Hypergraph ParseHmetisFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open hgr file: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ParseHmetis(ss.str());
+}
+
+std::string WriteHmetis(const Hypergraph& hg) {
+  bool net_weights = false;
+  for (NetId e = 0; e < hg.num_nets(); ++e)
+    net_weights |= hg.net_capacity(e) != 1.0;
+  const bool node_weights = !hg.unit_sizes();
+
+  std::ostringstream os;
+  os << "% written by htp\n";
+  os << hg.num_nets() << " " << hg.num_nodes();
+  if (net_weights && node_weights)
+    os << " 11";
+  else if (node_weights)
+    os << " 10";
+  else if (net_weights)
+    os << " 1";
+  os << "\n";
+  for (NetId e = 0; e < hg.num_nets(); ++e) {
+    if (net_weights) {
+      EmitWeight(os, hg.net_capacity(e));
+      os << " ";
+    }
+    bool first = true;
+    for (NodeId v : hg.pins(e)) {
+      if (!first) os << " ";
+      os << (v + 1);
+      first = false;
+    }
+    os << "\n";
+  }
+  if (node_weights) {
+    for (NodeId v = 0; v < hg.num_nodes(); ++v) {
+      EmitWeight(os, hg.node_size(v));
+      os << "\n";
+    }
+  }
+  return os.str();
+}
+
+void WriteHmetisFile(const Hypergraph& hg, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw Error("cannot open for writing: " + path);
+  out << WriteHmetis(hg);
+  if (!out) throw Error("failed writing: " + path);
+}
+
+}  // namespace htp

@@ -1,0 +1,88 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component in htp (flow injection start orders, find_cut
+// seeds, circuit generators, FM tie-breaking) takes an explicit 64-bit seed
+// and derives its stream from this Xoshiro256** generator, so runs are
+// reproducible across platforms and standard-library versions (std::mt19937
+// distributions are not portable across implementations).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "netlist/common.hpp"
+
+namespace htp {
+
+/// SplitMix64: used to seed Xoshiro and to derive independent substreams.
+inline std::uint64_t SplitMix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Xoshiro256** by Blackman & Vigna — fast, high-quality, portable.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = SplitMix64(sm);
+  }
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64() {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) {
+    HTP_CHECK(bound > 0);
+    // Unbiased rejection sampling (Lemire-style threshold).
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      const std::uint64_t r = next_u64();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// True with probability `p` (clamped to [0,1]).
+  bool next_bool(double p) { return next_double() < p; }
+
+  /// Derives an independent generator for a labelled substream.
+  Rng fork(std::uint64_t label) {
+    std::uint64_t sm = next_u64() ^ (label * 0xD1B54A32D192ED03ULL);
+    return Rng(SplitMix64(sm));
+  }
+
+  /// Fisher-Yates shuffle of a random-access container.
+  template <typename Container>
+  void shuffle(Container& c) {
+    for (std::size_t i = c.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(c[i - 1], c[j]);
+    }
+  }
+
+ private:
+  static std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_;
+};
+
+}  // namespace htp

@@ -1,0 +1,50 @@
+// Induced sub-hypergraphs and cluster contraction.
+//
+// Algorithm 3 recurses on the subgraph H' = (V', E') cut off by find_cut;
+// GFM contracts level-l blocks into supernodes before partitioning level
+// l+1. Both operations keep a mapping back to the parent hypergraph so nets
+// retain their identity for cost accounting.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "netlist/hypergraph.hpp"
+
+namespace htp {
+
+/// A hypergraph derived from a parent, with id mappings back to it.
+struct SubHypergraph {
+  Hypergraph hg;
+  /// node id in `hg` -> node id in the parent.
+  std::vector<NodeId> node_to_parent;
+  /// net id in `hg` -> net id in the parent.
+  std::vector<NetId> net_to_parent;
+};
+
+/// Extracts the sub-hypergraph induced by `nodes` (distinct parent node ids).
+///
+/// A parent net survives iff at least two of its pins lie in `nodes`; its
+/// pins are restricted to `nodes`. Node sizes, capacities, and names carry
+/// over. Order of `nodes` defines the new node numbering.
+SubHypergraph InducedSubHypergraph(const Hypergraph& parent,
+                                   std::span<const NodeId> nodes);
+
+/// Contracts nodes into supernodes according to `cluster_of` (one cluster id
+/// in [0, num_clusters) per parent node). Supernode sizes are the summed
+/// member sizes. A parent net survives iff it touches >= 2 distinct clusters;
+/// its pins become the touched clusters. Parallel nets are NOT merged, so
+/// `net_to_parent` stays one-to-one.
+SubHypergraph ContractClusters(const Hypergraph& parent,
+                               std::span<const BlockId> cluster_of,
+                               BlockId num_clusters);
+
+/// Connected components over the hypergraph (two nodes are adjacent when
+/// they share a net). Returns per-node component id in [0, count).
+struct Components {
+  std::vector<NodeId> component_of;
+  NodeId count = 0;
+};
+Components ConnectedComponents(const Hypergraph& hg);
+
+}  // namespace htp

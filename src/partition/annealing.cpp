@@ -1,0 +1,73 @@
+#include "partition/annealing.hpp"
+
+#include <cmath>
+
+#include "netlist/rng.hpp"
+#include "partition/move_oracle.hpp"
+
+namespace htp {
+
+AnnealingStats AnnealHtp(TreePartition& tp, const HierarchySpec& spec,
+                         const AnnealingParams& params) {
+  HTP_CHECK(params.cooling > 0.0 && params.cooling < 1.0);
+  HTP_CHECK(params.moves_per_node > 0.0);
+  const Hypergraph& hg = tp.hypergraph();
+  Rng rng(params.seed);
+
+  AnnealingStats stats;
+  stats.initial_cost = PartitionCost(tp, spec);
+  HtpMoveOracle oracle(tp, spec);
+  const std::vector<BlockId> leaves = tp.Leaves();
+  if (leaves.size() < 2 || hg.num_nodes() == 0) {
+    stats.final_cost = stats.initial_cost;
+    return stats;
+  }
+
+  double cost = stats.initial_cost;
+  double best_cost = cost;
+  // Remember the best visited assignment so the result is monotone.
+  std::vector<BlockId> best_leaf(hg.num_nodes());
+  for (NodeId v = 0; v < hg.num_nodes(); ++v) best_leaf[v] = tp.leaf_of(v);
+
+  double temperature =
+      std::max(1e-6, params.initial_temperature_factor * stats.initial_cost /
+                         static_cast<double>(hg.num_nodes()));
+  const std::size_t proposals_per_sweep = static_cast<std::size_t>(
+      params.moves_per_node * static_cast<double>(hg.num_nodes()));
+
+  std::size_t stagnant = 0;
+  for (std::size_t sweep = 0;
+       sweep < params.max_sweeps && stagnant < params.patience; ++sweep) {
+    ++stats.sweeps;
+    bool improved = false;
+    for (std::size_t p = 0; p < proposals_per_sweep; ++p) {
+      const NodeId v = static_cast<NodeId>(rng.next_below(hg.num_nodes()));
+      const BlockId target =
+          leaves[static_cast<std::size_t>(rng.next_below(leaves.size()))];
+      if (target == tp.leaf_of(v) || !oracle.Feasible(v, target)) continue;
+      const double delta = oracle.Delta(v, target);
+      // Metropolis acceptance.
+      if (delta > 0.0 && !rng.next_bool(std::exp(-delta / temperature)))
+        continue;
+      oracle.Apply(v, target);
+      cost += delta;
+      ++stats.accepted;
+      if (cost < best_cost - 1e-12) {
+        best_cost = cost;
+        for (NodeId u = 0; u < hg.num_nodes(); ++u)
+          best_leaf[u] = tp.leaf_of(u);
+        improved = true;
+      }
+    }
+    stagnant = improved ? 0 : stagnant + 1;
+    temperature *= params.cooling;
+  }
+
+  // Restore the best visited state.
+  for (NodeId v = 0; v < hg.num_nodes(); ++v)
+    if (tp.leaf_of(v) != best_leaf[v]) oracle.Apply(v, best_leaf[v]);
+  stats.final_cost = best_cost;
+  return stats;
+}
+
+}  // namespace htp

@@ -1,0 +1,44 @@
+// Simulated-annealing refinement for HTP — a second iterative improver
+// alongside the generalized FM, used to sanity-check that Table 3's
+// improvements are not an artifact of one local-search design (see
+// bench/ablation_refiner). Moves are single-node leaf reassignments with
+// the exact Equation-(1) delta; the acceptance rule is Metropolis with a
+// geometric cooling schedule; capacity feasibility is enforced per move.
+#pragma once
+
+#include <cstdint>
+
+#include "core/cost.hpp"
+#include "core/tree_partition.hpp"
+
+namespace htp {
+
+/// Annealing schedule parameters.
+struct AnnealingParams {
+  /// Initial temperature as a fraction of the initial cost per node.
+  double initial_temperature_factor = 0.05;
+  /// Multiplicative cooling per sweep.
+  double cooling = 0.92;
+  /// Node-move proposals per sweep = this factor times the node count.
+  double moves_per_node = 4.0;
+  /// Sweeps with no accepted improving move before stopping.
+  std::size_t patience = 6;
+  std::size_t max_sweeps = 120;
+  std::uint64_t seed = 1;
+};
+
+/// Refinement statistics.
+struct AnnealingStats {
+  double initial_cost = 0.0;
+  double final_cost = 0.0;
+  std::size_t sweeps = 0;
+  std::size_t accepted = 0;
+};
+
+/// Anneals `tp` in place. The result never costs more than the input (the
+/// best visited state is restored at the end) and respects every capacity
+/// the input respected.
+AnnealingStats AnnealHtp(TreePartition& tp, const HierarchySpec& spec,
+                         const AnnealingParams& params = {});
+
+}  // namespace htp

@@ -1,0 +1,169 @@
+#include "partition/exhaustive.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace htp {
+namespace {
+
+class Enumerator {
+ public:
+  Enumerator(const Hypergraph& hg, const HierarchySpec& spec,
+             std::size_t max_evaluations)
+      : hg_(hg), spec_(spec), max_eval_(max_evaluations),
+        root_level_(spec.LevelForSize(hg.total_size())) {
+    assign_.resize(root_level_ + 1);
+  }
+
+  std::optional<ExhaustiveResult> Run() {
+    std::vector<double> node_sizes(hg_.num_nodes());
+    for (NodeId v = 0; v < hg_.num_nodes(); ++v)
+      node_sizes[v] = hg_.node_size(v);
+    EnumStep(0, node_sizes);
+    if (aborted_ || best_cost_ == std::numeric_limits<double>::infinity())
+      return std::nullopt;
+    return BuildResult();
+  }
+
+ private:
+  // Number of groups realizable at step `l` (product of branch bounds of
+  // the levels above, capped at the item count).
+  std::size_t GroupBudget(Level l, std::size_t items) const {
+    std::size_t budget = 1;
+    for (Level i = l + 1; i <= root_level_; ++i) {
+      budget *= spec_.max_branches(i);
+      if (budget >= items) return items;
+    }
+    return std::min(budget, items);
+  }
+
+  // Groups the items of step `l` (level-(l-1) blocks, or nodes at l = 0)
+  // into level-l blocks by canonical set-partition enumeration.
+  void EnumStep(Level l, const std::vector<double>& item_sizes) {
+    if (aborted_) return;
+    std::vector<double> group_sizes;
+    std::vector<std::size_t> group_items;
+    assign_[l].assign(item_sizes.size(), 0);
+    const std::size_t budget = GroupBudget(l, item_sizes.size());
+    const std::size_t max_items_per_group =
+        l == 0 ? item_sizes.size() : spec_.max_branches(l);
+    AssignItem(l, 0, item_sizes, group_sizes, group_items, budget,
+               max_items_per_group);
+  }
+
+  void AssignItem(Level l, std::size_t item,
+                  const std::vector<double>& item_sizes,
+                  std::vector<double>& group_sizes,
+                  std::vector<std::size_t>& group_items, std::size_t budget,
+                  std::size_t max_items_per_group) {
+    if (aborted_) return;
+    if (item == item_sizes.size()) {
+      if (l == root_level_) {
+        if (group_sizes.size() == 1) Evaluate();
+        return;
+      }
+      EnumStep(l + 1, group_sizes);
+      return;
+    }
+    const double s = item_sizes[item];
+    // Join an existing group.
+    for (std::size_t g = 0; g < group_sizes.size(); ++g) {
+      if (group_items[g] + 1 > max_items_per_group) continue;
+      if (group_sizes[g] + s > spec_.capacity(l) + 1e-9) continue;
+      assign_[l][item] = g;
+      group_sizes[g] += s;
+      ++group_items[g];
+      AssignItem(l, item + 1, item_sizes, group_sizes, group_items, budget,
+                 max_items_per_group);
+      group_sizes[g] -= s;
+      --group_items[g];
+    }
+    // Open a new group (canonical: groups appear in first-item order).
+    if (group_sizes.size() < budget && s <= spec_.capacity(l) + 1e-9) {
+      assign_[l][item] = group_sizes.size();
+      group_sizes.push_back(s);
+      group_items.push_back(1);
+      AssignItem(l, item + 1, item_sizes, group_sizes, group_items, budget,
+                 max_items_per_group);
+      group_sizes.pop_back();
+      group_items.pop_back();
+    }
+  }
+
+  void Evaluate() {
+    if (++evaluated_ > max_eval_) {
+      aborted_ = true;
+      return;
+    }
+    // Compose per-level block ids per node.
+    const NodeId n = hg_.num_nodes();
+    std::vector<std::size_t> block(assign_[0]);
+    double cost = 0.0;
+    std::vector<std::vector<std::size_t>> block_at(root_level_);
+    for (Level l = 0; l < root_level_; ++l) {
+      if (l > 0)
+        for (NodeId v = 0; v < n; ++v) block[v] = assign_[l][block[v]];
+      block_at[l] = block;
+    }
+    std::vector<std::size_t> scratch;
+    for (NetId e = 0; e < hg_.num_nets(); ++e) {
+      for (Level l = 0; l < root_level_; ++l) {
+        scratch.clear();
+        for (NodeId v : hg_.pins(e)) scratch.push_back(block_at[l][v]);
+        std::sort(scratch.begin(), scratch.end());
+        scratch.erase(std::unique(scratch.begin(), scratch.end()),
+                      scratch.end());
+        if (scratch.size() <= 1) break;
+        cost += spec_.weight(l) * static_cast<double>(scratch.size()) *
+                hg_.net_capacity(e);
+      }
+      if (cost >= best_cost_) return;  // prune: cost only grows
+    }
+    if (cost < best_cost_) {
+      best_cost_ = cost;
+      best_assign_ = assign_;
+    }
+  }
+
+  ExhaustiveResult BuildResult() const {
+    // Materialize the best assignment as a TreePartition: create blocks per
+    // level top-down following the grouping maps.
+    TreePartition tp(hg_, root_level_);
+    // blocks[l][g] = BlockId of group g at level l.
+    std::vector<std::vector<BlockId>> blocks(root_level_ + 1);
+    blocks[root_level_] = {TreePartition::kRoot};
+    for (Level l = root_level_; l >= 1; --l) {
+      const std::vector<std::size_t>& parent_of = best_assign_[l];
+      blocks[l - 1].resize(parent_of.size());
+      for (std::size_t child = 0; child < parent_of.size(); ++child)
+        blocks[l - 1][child] = tp.AddChild(blocks[l][parent_of[child]]);
+    }
+    for (NodeId v = 0; v < hg_.num_nodes(); ++v)
+      tp.AssignNode(v, blocks[0][best_assign_[0][v]]);
+
+    ExhaustiveResult result{std::move(tp), best_cost_, evaluated_};
+    return result;
+  }
+
+  const Hypergraph& hg_;
+  const HierarchySpec& spec_;
+  std::size_t max_eval_;
+  Level root_level_;
+  std::vector<std::vector<std::size_t>> assign_;
+  std::vector<std::vector<std::size_t>> best_assign_;
+  double best_cost_ = std::numeric_limits<double>::infinity();
+  std::size_t evaluated_ = 0;
+  bool aborted_ = false;
+};
+
+}  // namespace
+
+std::optional<ExhaustiveResult> ExhaustiveHtp(const Hypergraph& hg,
+                                              const HierarchySpec& spec,
+                                              std::size_t max_evaluations) {
+  HTP_CHECK(hg.num_nodes() > 0);
+  Enumerator enumerator(hg, spec, max_evaluations);
+  return enumerator.Run();
+}
+
+}  // namespace htp

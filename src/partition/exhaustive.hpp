@@ -1,0 +1,32 @@
+// Exhaustive (exact) HTP solver for tiny instances.
+//
+// Enumerates every hierarchical tree partition of the full skeleton implied
+// by the spec — canonical set partitions at each level (smallest-index
+// element anchors each group) so symmetric relabelings are counted once —
+// and returns the minimum-cost one. Exponential: intended for instances of
+// up to ~16 unit-size nodes. Used to certify the Figure-2 optimum, to
+// measure the Lemma-2 LP gap, and as the ground truth in property tests.
+#pragma once
+
+#include <optional>
+
+#include "core/cost.hpp"
+#include "core/tree_partition.hpp"
+
+namespace htp {
+
+/// Result of the exhaustive search.
+struct ExhaustiveResult {
+  TreePartition best;
+  double cost = 0.0;
+  std::size_t evaluated = 0;  ///< complete partitions scored
+};
+
+/// Exact minimum-cost hierarchical tree partition, or nullopt when the
+/// enumeration would exceed `max_evaluations` complete partitions (the
+/// search aborts as soon as the cap is hit).
+std::optional<ExhaustiveResult> ExhaustiveHtp(
+    const Hypergraph& hg, const HierarchySpec& spec,
+    std::size_t max_evaluations = 50'000'000);
+
+}  // namespace htp

@@ -1,0 +1,138 @@
+#include "partition/htp_fm.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <queue>
+
+#include "partition/move_oracle.hpp"
+
+namespace htp {
+namespace {
+
+struct HeapEntry {
+  double gain;
+  NodeId node;
+  BlockId target;
+  std::uint32_t stamp;
+  bool operator<(const HeapEntry& other) const {
+    return gain < other.gain || (gain == other.gain && node < other.node);
+  }
+};
+
+class Refiner {
+ public:
+  Refiner(TreePartition& tp, const HierarchySpec& spec)
+      : tp_(tp), hg_(tp.hypergraph()), oracle_(tp, spec),
+        leaves_(tp.Leaves()), stamp_(hg_.num_nodes(), 0),
+        locked_(hg_.num_nodes(), 0) {}
+
+  struct Best {
+    double gain;
+    BlockId target;
+  };
+  std::optional<Best> BestMove(NodeId v) const {
+    std::optional<Best> best;
+    for (BlockId leaf : leaves_) {
+      if (leaf == tp_.leaf_of(v) || !oracle_.Feasible(v, leaf)) continue;
+      const double gain = -oracle_.Delta(v, leaf);
+      if (!best || gain > best->gain) best = Best{gain, leaf};
+    }
+    return best;
+  }
+
+  // One FM pass; returns the realized (best-prefix) gain.
+  double Pass(std::size_t early_stop_window, std::size_t& moves_kept) {
+    std::fill(locked_.begin(), locked_.end(), 0);
+    std::priority_queue<HeapEntry> heap;
+    auto push_best = [&](NodeId v) {
+      if (auto best = BestMove(v))
+        heap.push({best->gain, v, best->target, stamp_[v]});
+    };
+    for (NodeId v = 0; v < hg_.num_nodes(); ++v) {
+      ++stamp_[v];
+      push_best(v);
+    }
+
+    std::vector<std::pair<NodeId, BlockId>> log;  // (node, previous leaf)
+    double cum = 0.0, best_cum = 0.0;
+    std::size_t best_len = 0, since_best = 0;
+    std::vector<std::uint8_t> requeues(hg_.num_nodes(), 0);
+
+    while (!heap.empty()) {
+      const HeapEntry entry = heap.top();
+      heap.pop();
+      const NodeId v = entry.node;
+      if (locked_[v]) continue;
+      if (entry.stamp != stamp_[v]) {
+        // Stale: neighbors changed since this entry was pushed.
+        push_best(v);
+        continue;
+      }
+      if (!oracle_.Feasible(v, entry.target)) {
+        // Sizes shifted under us; retry with a fresh best (bounded).
+        if (++requeues[v] < 32) {
+          ++stamp_[v];
+          push_best(v);
+        }
+        continue;
+      }
+      const double gain = -oracle_.Delta(v, entry.target);  // authoritative
+      const BlockId from = tp_.leaf_of(v);
+      oracle_.Apply(v, entry.target);
+      locked_[v] = 1;
+      log.emplace_back(v, from);
+      cum += gain;
+      if (cum > best_cum + 1e-12) {
+        best_cum = cum;
+        best_len = log.size();
+        since_best = 0;
+      } else if (early_stop_window > 0 && ++since_best >= early_stop_window) {
+        break;
+      }
+      // Refresh the neighborhood.
+      for (NetId e : hg_.nets(v)) {
+        for (NodeId u : hg_.pins(e)) {
+          if (locked_[u]) continue;
+          ++stamp_[u];
+          push_best(u);
+        }
+      }
+    }
+
+    // Roll back the tail beyond the best prefix.
+    for (std::size_t i = log.size(); i > best_len; --i)
+      oracle_.Apply(log[i - 1].first, log[i - 1].second);
+    moves_kept += best_len;
+    return best_cum;
+  }
+
+ private:
+  TreePartition& tp_;
+  const Hypergraph& hg_;
+  HtpMoveOracle oracle_;
+  std::vector<BlockId> leaves_;
+  std::vector<std::uint32_t> stamp_;
+  std::vector<char> locked_;
+};
+
+}  // namespace
+
+HtpFmStats RefineHtpFm(TreePartition& tp, const HierarchySpec& spec,
+                       const HtpFmParams& params) {
+  HTP_CHECK_MSG(tp.fully_assigned(), "refiner needs a complete partition");
+  HtpFmStats stats;
+  stats.initial_cost = PartitionCost(tp, spec);
+  Refiner refiner(tp, spec);
+  double cost = stats.initial_cost;
+  for (std::size_t pass = 0; pass < params.max_passes; ++pass) {
+    ++stats.passes;
+    const double gain =
+        refiner.Pass(params.early_stop_window, stats.moves_kept);
+    cost -= gain;
+    if (gain <= 1e-12) break;
+  }
+  stats.final_cost = cost;
+  return stats;
+}
+
+}  // namespace htp

@@ -1,0 +1,50 @@
+// Generalized Fiduccia–Mattheyses iterative improvement for HTP.
+//
+// [9] proposes "an iterative improvement algorithm based on the
+// Fiduccia-Mattheyses method ... to improve an existing initial partition
+// with a fixed tree hierarchy"; Table 3 applies it to the GFM/RFM/FLOW
+// partitions (the "+" variants). This implementation generalizes classic FM
+// to the hierarchical cost of Equation (1):
+//
+//  * a move relocates one node from its leaf to any other leaf whose whole
+//    ancestor chain (up to the LCA) has capacity for it;
+//  * the gain is the exact change of the total cost, computed from
+//    per-net-per-level span tables maintained incrementally;
+//  * passes follow FM discipline: each node moves at most once per pass,
+//    moves are applied best-gain-first (lazy max-heap with version stamps),
+//    and the pass rolls back to its best prefix;
+//  * passes repeat until one yields no improvement.
+#pragma once
+
+#include <cstdint>
+
+#include "core/cost.hpp"
+#include "core/tree_partition.hpp"
+
+namespace htp {
+
+/// Parameters of the hierarchical FM refiner.
+struct HtpFmParams {
+  std::size_t max_passes = 12;
+  /// When nonzero, a pass gives up after this many consecutive applied
+  /// moves without improving on the pass's best prefix (classic FM runs the
+  /// pass to exhaustion; a window trades a little quality for speed).
+  std::size_t early_stop_window = 0;
+  std::uint64_t seed = 1;
+};
+
+/// Statistics of a refinement run.
+struct HtpFmStats {
+  double initial_cost = 0.0;
+  double final_cost = 0.0;
+  std::size_t passes = 0;
+  std::size_t moves_kept = 0;  ///< moves surviving the best-prefix rollbacks
+};
+
+/// Refines `tp` in place; the result never costs more than the input and
+/// respects every capacity bound the input respected. The partition must be
+/// fully assigned.
+HtpFmStats RefineHtpFm(TreePartition& tp, const HierarchySpec& spec,
+                       const HtpFmParams& params = {});
+
+}  // namespace htp

@@ -1,0 +1,52 @@
+#include "partition/random_partition.hpp"
+
+namespace htp {
+
+TreePartition RandomPartition(const Hypergraph& hg, const HierarchySpec& spec,
+                              Rng& rng) {
+  const Level root_level = spec.LevelForSize(hg.total_size());
+  TreePartition tp(hg, root_level);
+
+  // Build the complete K-ary skeleton.
+  std::vector<BlockId> frontier{TreePartition::kRoot};
+  for (Level l = root_level; l > 0; --l) {
+    std::vector<BlockId> next;
+    for (BlockId q : frontier)
+      for (std::size_t b = 0; b < spec.max_branches(l); ++b)
+        next.push_back(tp.AddChild(q));
+    frontier = std::move(next);
+  }
+  const std::vector<BlockId> leaves = std::move(frontier);
+
+  std::vector<NodeId> order(hg.num_nodes());
+  for (NodeId v = 0; v < hg.num_nodes(); ++v) order[v] = v;
+  rng.shuffle(order);
+
+  for (NodeId v : order) {
+    const double s = hg.node_size(v);
+    // First fit in a random rotation of the leaves.
+    const std::size_t offset = rng.next_below(leaves.size());
+    bool placed = false;
+    for (std::size_t i = 0; i < leaves.size() && !placed; ++i) {
+      const BlockId leaf = leaves[(i + offset) % leaves.size()];
+      bool fits = true;
+      for (BlockId q = leaf;; q = tp.parent(q)) {
+        if (tp.block_size(q) + s > spec.capacity(tp.level(q)) + 1e-9) {
+          fits = false;
+          break;
+        }
+        if (q == TreePartition::kRoot) break;
+      }
+      if (fits) {
+        tp.AssignNode(v, leaf);
+        placed = true;
+      }
+    }
+    if (!placed)
+      throw Error("RandomPartition: node does not fit any leaf; "
+                  "capacities too tight for a random order");
+  }
+  return tp;
+}
+
+}  // namespace htp

@@ -1,0 +1,20 @@
+// Random feasible hierarchical tree partitions.
+//
+// Used as a control baseline in tests and ablations (the paper notes random
+// initial partitions are not applicable when the hierarchy is flexible; here
+// the hierarchy shape is fixed to the spec's full K-ary skeleton).
+#pragma once
+
+#include "core/tree_partition.hpp"
+#include "netlist/rng.hpp"
+
+namespace htp {
+
+/// Builds the full K-ary skeleton implied by `spec` (root at
+/// LevelForSize(total)) and assigns shuffled nodes to leaves first-fit under
+/// the capacity chain. Throws htp::Error when a node cannot be placed
+/// (capacities too tight for a random order).
+TreePartition RandomPartition(const Hypergraph& hg, const HierarchySpec& spec,
+                              Rng& rng);
+
+}  // namespace htp

@@ -1,0 +1,209 @@
+#include "treemap/tree_mapping.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "core/find_cut.hpp"
+#include "netlist/subhypergraph.hpp"
+
+namespace htp {
+
+TreeMapping::TreeMapping(const Hypergraph& hg, const TreeTopology& tree)
+    : hg_(&hg), tree_(&tree) {
+  HTP_CHECK_MSG(tree.finalized(), "finalize the topology first");
+  vertex_of_.assign(hg.num_nodes(), kInvalidTreeVertex);
+  load_.assign(tree.num_vertices(), 0.0);
+}
+
+void TreeMapping::Assign(NodeId node, TreeVertexId vertex) {
+  HTP_CHECK(node < hg_->num_nodes() && vertex < tree_->num_vertices());
+  HTP_CHECK_MSG(vertex_of_[node] == kInvalidTreeVertex,
+                "node already assigned");
+  vertex_of_[node] = vertex;
+  load_[vertex] += hg_->node_size(node);
+  ++assigned_;
+}
+
+void TreeMapping::Move(NodeId node, TreeVertexId vertex) {
+  HTP_CHECK(node < hg_->num_nodes() && vertex < tree_->num_vertices());
+  HTP_CHECK_MSG(vertex_of_[node] != kInvalidTreeVertex, "node not assigned");
+  load_[vertex_of_[node]] -= hg_->node_size(node);
+  vertex_of_[node] = vertex;
+  load_[vertex] += hg_->node_size(node);
+}
+
+double NetRoutingCost(const TreeMapping& mapping, NetId e) {
+  const Hypergraph& hg = mapping.hypergraph();
+  std::vector<TreeVertexId> hosts;
+  hosts.reserve(hg.net_degree(e));
+  for (NodeId v : hg.pins(e)) hosts.push_back(mapping.vertex_of(v));
+  return hg.net_capacity(e) * mapping.tree().SteinerCost(hosts);
+}
+
+double MappingCost(const TreeMapping& mapping) {
+  HTP_CHECK_MSG(mapping.fully_assigned(), "cost needs a complete mapping");
+  double total = 0.0;
+  for (NetId e = 0; e < mapping.hypergraph().num_nets(); ++e)
+    total += NetRoutingCost(mapping, e);
+  return total;
+}
+
+std::vector<std::string> ValidateMapping(const TreeMapping& mapping) {
+  std::vector<std::string> issues;
+  if (!mapping.fully_assigned())
+    issues.push_back("not every node is mapped to a tree vertex");
+  const TreeTopology& tree = mapping.tree();
+  for (TreeVertexId v = 0; v < tree.num_vertices(); ++v)
+    if (mapping.load(v) > tree.capacity(v) + 1e-9)
+      issues.push_back("vertex " + std::to_string(v) + " overloaded: " +
+                       std::to_string(mapping.load(v)) + " > " +
+                       std::to_string(tree.capacity(v)));
+  return issues;
+}
+
+TreeMapping GreedyTreeMap(const Hypergraph& hg, const TreeTopology& tree,
+                          Rng& rng) {
+  HTP_CHECK_MSG(hg.total_size() <= tree.total_capacity() + 1e-9,
+                "netlist does not fit the tree");
+  TreeMapping mapping(hg, tree);
+
+  std::vector<NodeId> remaining(hg.num_nodes());
+  for (NodeId v = 0; v < hg.num_nodes(); ++v) remaining[v] = v;
+
+  // Capacity still available at vertices not yet visited, so each carve
+  // can take enough that the leftover always fits the rest of the tree.
+  double future_capacity = tree.total_capacity();
+
+  // Visit capacitated vertices root-first; carve a connected cluster of
+  // the right size for each from the remaining netlist.
+  for (TreeVertexId vertex : tree.order()) {
+    if (tree.capacity(vertex) <= 0.0 || remaining.empty()) continue;
+    future_capacity -= tree.capacity(vertex);
+    double rem_size = 0.0;
+    for (NodeId v : remaining) rem_size += hg.node_size(v);
+    std::vector<NodeId> chunk;
+    if (rem_size <= tree.capacity(vertex) + 1e-9) {
+      chunk = std::move(remaining);
+      remaining.clear();
+    } else {
+      SubHypergraph sub = InducedSubHypergraph(hg, remaining);
+      const std::vector<double> unit(sub.hg.num_nets(), 1.0);
+      const double lb = std::min(
+          tree.capacity(vertex),
+          std::max(tree.capacity(vertex) * 0.5, rem_size - future_capacity));
+      const CarveResult cut =
+          MetricFindCut(sub.hg, unit, lb, tree.capacity(vertex), rng);
+      std::vector<char> taken(sub.hg.num_nodes(), 0);
+      for (NodeId local : cut.nodes) {
+        taken[local] = 1;
+        chunk.push_back(sub.node_to_parent[local]);
+      }
+      std::vector<NodeId> rest;
+      for (NodeId local = 0; local < sub.hg.num_nodes(); ++local)
+        if (!taken[local]) rest.push_back(sub.node_to_parent[local]);
+      remaining = std::move(rest);
+    }
+    for (NodeId v : chunk) mapping.Assign(v, vertex);
+  }
+  HTP_CHECK_MSG(remaining.empty(),
+                "greedy mapper could not place every node (capacities too "
+                "fragmented)");
+  return mapping;
+}
+
+TreeMapStats RefineTreeMap(TreeMapping& mapping, std::size_t max_passes) {
+  HTP_CHECK(mapping.fully_assigned());
+  const Hypergraph& hg = mapping.hypergraph();
+  const TreeTopology& tree = mapping.tree();
+  TreeMapStats stats;
+  stats.initial_cost = MappingCost(mapping);
+  double cost = stats.initial_cost;
+
+  // Exact gain of moving `node` to `target`: recompute its nets' routing
+  // costs before and after (net degrees and the tree are both small).
+  auto move_gain = [&](NodeId node, TreeVertexId target) {
+    const TreeVertexId from = mapping.vertex_of(node);
+    double before = 0.0, after = 0.0;
+    for (NetId e : hg.nets(node)) before += NetRoutingCost(mapping, e);
+    mapping.Move(node, target);
+    for (NetId e : hg.nets(node)) after += NetRoutingCost(mapping, e);
+    mapping.Move(node, from);
+    return before - after;
+  };
+
+  // Total overload across vertices; exact-capacity instances need swap
+  // sequences, so a move may overload its target by up to the moved node's
+  // size when the mapping is currently feasible, and must strictly reduce
+  // the overload otherwise. Best prefixes are recorded only at feasible
+  // states (the same discipline as the FM bipartitioner).
+  auto overload = [&]() {
+    double total = 0.0;
+    for (TreeVertexId t = 0; t < tree.num_vertices(); ++t)
+      total += std::max(0.0, mapping.load(t) - tree.capacity(t));
+    return total;
+  };
+
+  for (std::size_t pass = 0; pass < max_passes; ++pass) {
+    ++stats.passes;
+    std::vector<char> locked(hg.num_nodes(), 0);
+    std::vector<std::pair<NodeId, TreeVertexId>> log;  // (node, old vertex)
+    double cum = 0.0, best_cum = 0.0;
+    std::size_t best_len = 0;
+
+    for (;;) {
+      // Best permitted single move over unlocked nodes (exhaustive scan —
+      // this refiner targets small trees).
+      const double overload_now = overload();
+      double best_gain = -1e30;
+      NodeId best_node = kInvalidNode;
+      TreeVertexId best_target = kInvalidTreeVertex;
+      for (NodeId v = 0; v < hg.num_nodes(); ++v) {
+        if (locked[v]) continue;
+        const double s = hg.node_size(v);
+        for (TreeVertexId t = 0; t < tree.num_vertices(); ++t) {
+          if (t == mapping.vertex_of(v)) continue;
+          const double new_over =
+              std::max(0.0, mapping.load(t) + s - tree.capacity(t)) -
+              std::max(0.0, mapping.load(t) - tree.capacity(t));
+          const double reduced =
+              std::min(std::max(0.0, mapping.load(mapping.vertex_of(v)) -
+                                         tree.capacity(mapping.vertex_of(v))),
+                       s);
+          const double overload_next = overload_now + new_over - reduced;
+          const bool permitted =
+              overload_next <= 1e-9 ||
+              (overload_now <= 1e-9 && overload_next <= s + 1e-9) ||
+              overload_next < overload_now - 1e-12;
+          if (!permitted) continue;
+          const double gain = move_gain(v, t);
+          if (gain > best_gain) {
+            best_gain = gain;
+            best_node = v;
+            best_target = t;
+          }
+        }
+      }
+      if (best_node == kInvalidNode || best_gain < -1e20) break;
+      // Stop expanding clearly hopeless tails: FM still explores negative
+      // moves, but a full pass on a converged mapping is wasted work.
+      if (best_gain <= 0.0 && cum + best_gain < best_cum - 10.0) break;
+      log.emplace_back(best_node, mapping.vertex_of(best_node));
+      mapping.Move(best_node, best_target);
+      locked[best_node] = 1;
+      cum += best_gain;
+      if (cum > best_cum + 1e-12 && overload() <= 1e-9) {
+        best_cum = cum;
+        best_len = log.size();
+      }
+    }
+    for (std::size_t i = log.size(); i > best_len; --i)
+      mapping.Move(log[i - 1].first, log[i - 1].second);
+    stats.moves_kept += best_len;
+    cost -= best_cum;
+    if (best_cum <= 1e-12) break;
+  }
+  stats.final_cost = cost;
+  return stats;
+}
+
+}  // namespace htp

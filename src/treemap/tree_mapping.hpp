@@ -1,0 +1,81 @@
+// Min-cost tree partitioning (Vijayan [16]): map a netlist onto the
+// vertices of a fixed tree, minimizing the total cost of globally routing
+// every net over the tree's edges:
+//
+//   cost(M) = sum_e c(e) * SteinerCost(T, vertices hosting e's pins)
+//
+// subject to the per-vertex size capacities. This module holds the mapping
+// representation, the objective, validation, and the optimizers: a
+// locality-seeded constructive mapper and an FM-style single-node-move
+// refiner with best-prefix rollback.
+#pragma once
+
+#include <optional>
+
+#include "netlist/hypergraph.hpp"
+#include "netlist/rng.hpp"
+#include "treemap/tree_topology.hpp"
+
+namespace htp {
+
+/// A (possibly partial) assignment of nodes to tree vertices.
+class TreeMapping {
+ public:
+  TreeMapping(const Hypergraph& hg, const TreeTopology& tree);
+
+  const Hypergraph& hypergraph() const { return *hg_; }
+  const TreeTopology& tree() const { return *tree_; }
+
+  /// Assigns an unassigned node (capacity is NOT enforced here; use
+  /// ValidateMapping / the optimizers for feasibility).
+  void Assign(NodeId node, TreeVertexId vertex);
+  /// Reassigns a node.
+  void Move(NodeId node, TreeVertexId vertex);
+
+  TreeVertexId vertex_of(NodeId node) const {
+    HTP_CHECK(node < hg_->num_nodes());
+    return vertex_of_[node];
+  }
+  double load(TreeVertexId vertex) const {
+    HTP_CHECK(vertex < tree_->num_vertices());
+    return load_[vertex];
+  }
+  bool fully_assigned() const { return assigned_ == hg_->num_nodes(); }
+
+ private:
+  const Hypergraph* hg_;
+  const TreeTopology* tree_;
+  std::vector<TreeVertexId> vertex_of_;
+  std::vector<double> load_;
+  NodeId assigned_ = 0;
+};
+
+/// The routing objective; the mapping must be fully assigned.
+double MappingCost(const TreeMapping& mapping);
+
+/// Routing cost of one net under the mapping.
+double NetRoutingCost(const TreeMapping& mapping, NetId e);
+
+/// Capacity/completeness violations (empty = valid).
+std::vector<std::string> ValidateMapping(const TreeMapping& mapping);
+
+/// Constructive mapper: visits tree vertices in BFS order and fills each
+/// with a Prim-grown cluster of still-unassigned nodes (locality-seeded).
+/// Throws htp::Error when the netlist does not fit the tree's capacity.
+TreeMapping GreedyTreeMap(const Hypergraph& hg, const TreeTopology& tree,
+                          Rng& rng);
+
+/// FM-style refinement statistics.
+struct TreeMapStats {
+  double initial_cost = 0.0;
+  double final_cost = 0.0;
+  std::size_t passes = 0;
+  std::size_t moves_kept = 0;
+};
+
+/// Single-node-move FM refinement (gain = exact routing-cost delta,
+/// capacity-feasible targets only, best-prefix rollback per pass). Never
+/// worsens the mapping.
+TreeMapStats RefineTreeMap(TreeMapping& mapping, std::size_t max_passes = 8);
+
+}  // namespace htp

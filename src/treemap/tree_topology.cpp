@@ -1,0 +1,131 @@
+#include "treemap/tree_topology.hpp"
+
+#include <numeric>
+#include <queue>
+
+namespace htp {
+
+TreeVertexId TreeTopology::AddVertex(double capacity, std::string name) {
+  HTP_CHECK_MSG(!finalized_, "topology already finalized");
+  HTP_CHECK_MSG(capacity >= 0.0, "vertex capacity must be nonnegative");
+  capacity_.push_back(capacity);
+  name_.push_back(std::move(name));
+  adjacency_.emplace_back();
+  return static_cast<TreeVertexId>(capacity_.size() - 1);
+}
+
+void TreeTopology::AddEdge(TreeVertexId a, TreeVertexId b, double weight) {
+  HTP_CHECK_MSG(!finalized_, "topology already finalized");
+  HTP_CHECK(a < num_vertices() && b < num_vertices() && a != b);
+  HTP_CHECK_MSG(weight > 0.0, "edge weight must be positive");
+  adjacency_[a].emplace_back(b, weight);
+  adjacency_[b].emplace_back(a, weight);
+  ++num_edges_;
+}
+
+void TreeTopology::Finalize() {
+  HTP_CHECK_MSG(!finalized_, "topology already finalized");
+  HTP_CHECK_MSG(num_vertices() >= 1, "empty topology");
+  HTP_CHECK_MSG(num_edges_ + 1 == num_vertices(),
+                "edge count does not match a tree");
+  parent_.assign(num_vertices(), kInvalidTreeVertex);
+  parent_weight_.assign(num_vertices(), 0.0);
+  order_.clear();
+  std::vector<char> seen(num_vertices(), 0);
+  std::queue<TreeVertexId> frontier;
+  seen[0] = 1;
+  frontier.push(0);
+  while (!frontier.empty()) {
+    const TreeVertexId v = frontier.front();
+    frontier.pop();
+    order_.push_back(v);
+    for (const auto& [u, w] : adjacency_[v]) {
+      if (seen[u]) continue;
+      seen[u] = 1;
+      parent_[u] = v;
+      parent_weight_[u] = w;
+      frontier.push(u);
+    }
+  }
+  HTP_CHECK_MSG(order_.size() == num_vertices(),
+                "edges do not connect the tree");
+  finalized_ = true;
+}
+
+double TreeTopology::SteinerCost(
+    std::span<const TreeVertexId> marked) const {
+  HTP_CHECK(finalized_);
+  // cnt[v] = marked vertices in v's subtree; the edge (v, parent) belongs
+  // to the minimal spanning subtree iff its lower side holds some but not
+  // all marks.
+  std::vector<std::size_t> cnt(num_vertices(), 0);
+  std::size_t total = 0;
+  for (TreeVertexId v : marked) {
+    HTP_CHECK(v < num_vertices());
+    ++cnt[v];
+    ++total;
+  }
+  if (total == 0) return 0.0;
+  double cost = 0.0;
+  for (auto it = order_.rbegin(); it != order_.rend(); ++it) {
+    const TreeVertexId v = *it;
+    if (parent_[v] == kInvalidTreeVertex) continue;
+    if (cnt[v] > 0 && cnt[v] < total) cost += parent_weight_[v];
+    cnt[parent_[v]] += cnt[v];
+  }
+  return cost;
+}
+
+double TreeTopology::total_capacity() const {
+  return std::accumulate(capacity_.begin(), capacity_.end(), 0.0);
+}
+
+TreeTopology TreeTopology::Path(std::size_t n, double capacity) {
+  HTP_CHECK(n >= 1);
+  TreeTopology tree;
+  for (std::size_t i = 0; i < n; ++i)
+    tree.AddVertex(capacity, "p" + std::to_string(i));
+  for (std::size_t i = 1; i < n; ++i)
+    tree.AddEdge(static_cast<TreeVertexId>(i - 1),
+                 static_cast<TreeVertexId>(i));
+  tree.Finalize();
+  return tree;
+}
+
+TreeTopology TreeTopology::Star(std::size_t leaves, double capacity) {
+  HTP_CHECK(leaves >= 1);
+  TreeTopology tree;
+  tree.AddVertex(0.0, "hub");
+  for (std::size_t i = 0; i < leaves; ++i) {
+    const TreeVertexId leaf =
+        tree.AddVertex(capacity, "s" + std::to_string(i));
+    tree.AddEdge(0, leaf);
+  }
+  tree.Finalize();
+  return tree;
+}
+
+TreeTopology TreeTopology::KAryLeaves(std::size_t height,
+                                      std::size_t branching,
+                                      double leaf_capacity) {
+  HTP_CHECK(height >= 1 && branching >= 2);
+  TreeTopology tree;
+  std::vector<TreeVertexId> frontier{tree.AddVertex(0.0, "root")};
+  for (std::size_t level = 1; level <= height; ++level) {
+    std::vector<TreeVertexId> next;
+    for (TreeVertexId parent : frontier) {
+      for (std::size_t b = 0; b < branching; ++b) {
+        const TreeVertexId child = tree.AddVertex(
+            level == height ? leaf_capacity : 0.0,
+            "v" + std::to_string(level) + "_" + std::to_string(next.size()));
+        tree.AddEdge(parent, child);
+        next.push_back(child);
+      }
+    }
+    frontier = std::move(next);
+  }
+  tree.Finalize();
+  return tree;
+}
+
+}  // namespace htp

@@ -1,0 +1,95 @@
+// Tree topologies for min-cost tree partitioning (Vijayan [16]).
+//
+// The paper's introduction situates HTP against Vijayan's generalization
+// of min-cut partitioning: map a hypergraph onto the vertices of an
+// ARBITRARY tree T, minimizing the cost of globally routing each net over
+// T's edges. This module provides the tree substrate: capacitated
+// vertices, undirected tree edges with routing weights, and the
+// minimal-Steiner-subtree cost query that the mapping objective needs
+// (an edge of T carries net e iff both of its sides host pins of e).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "netlist/common.hpp"
+
+namespace htp {
+
+/// Dense index of a tree vertex.
+using TreeVertexId = std::uint32_t;
+
+/// A capacitated tree: vertices hold cells, edges carry routed nets.
+class TreeTopology {
+ public:
+  /// Adds a vertex with a size capacity; returns its id.
+  TreeVertexId AddVertex(double capacity, std::string name = {});
+  /// Connects two existing vertices with an edge of routing weight
+  /// `weight` (> 0). Edges must form a tree (checked in Finalize).
+  void AddEdge(TreeVertexId a, TreeVertexId b, double weight = 1.0);
+  /// Validates treeness (connected, |E| = |V|-1) and roots the tree at
+  /// vertex 0, precomputing traversal orders. Must be called once before
+  /// queries; further mutation is rejected.
+  void Finalize();
+
+  std::size_t num_vertices() const { return capacity_.size(); }
+  double capacity(TreeVertexId v) const {
+    HTP_CHECK(v < num_vertices());
+    return capacity_[v];
+  }
+  const std::string& name(TreeVertexId v) const {
+    HTP_CHECK(v < num_vertices());
+    return name_[v];
+  }
+  bool finalized() const { return finalized_; }
+
+  /// Parent of v in the rooted tree (kInvalid for the root = vertex 0).
+  TreeVertexId parent(TreeVertexId v) const {
+    HTP_CHECK(finalized_ && v < num_vertices());
+    return parent_[v];
+  }
+  /// Routing weight of the edge (v, parent(v)).
+  double parent_edge_weight(TreeVertexId v) const {
+    HTP_CHECK(finalized_ && v < num_vertices());
+    return parent_weight_[v];
+  }
+  /// Vertices in a root-first (topological) order.
+  std::span<const TreeVertexId> order() const {
+    HTP_CHECK(finalized_);
+    return order_;
+  }
+
+  /// Weighted size of the minimal subtree of T spanning `marked` vertices:
+  /// the sum of weights of edges with marked vertices on both sides. Zero
+  /// when all marks coincide. `marked` entries must be valid vertex ids
+  /// (duplicates allowed).
+  double SteinerCost(std::span<const TreeVertexId> marked) const;
+
+  /// Total capacity over all vertices.
+  double total_capacity() const;
+
+  /// Builders for common shapes: a path of `n` vertices, a star with `n`
+  /// leaves, and a complete K-ary tree of the given height where only
+  /// leaves have nonzero capacity (an HTP-like hardware hierarchy). All
+  /// come finalized with unit edge weights.
+  static TreeTopology Path(std::size_t n, double capacity);
+  static TreeTopology Star(std::size_t leaves, double capacity);
+  static TreeTopology KAryLeaves(std::size_t height, std::size_t branching,
+                                 double leaf_capacity);
+
+ private:
+  std::vector<double> capacity_;
+  std::vector<std::string> name_;
+  std::vector<std::vector<std::pair<TreeVertexId, double>>> adjacency_;
+  std::vector<TreeVertexId> parent_;
+  std::vector<double> parent_weight_;
+  std::vector<TreeVertexId> order_;
+  std::size_t num_edges_ = 0;
+  bool finalized_ = false;
+};
+
+inline constexpr TreeVertexId kInvalidTreeVertex =
+    std::numeric_limits<TreeVertexId>::max();
+
+}  // namespace htp

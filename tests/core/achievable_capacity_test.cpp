@@ -1,0 +1,61 @@
+#include <gtest/gtest.h>
+
+#include "core/hierarchy.hpp"
+
+namespace htp {
+namespace {
+
+TEST(AchievableCapacity, FloorsForUnitSizes) {
+  // C = (2.4, 4.8, 9.6), K = 2: unit cells give 2 per leaf, 4 per level-1
+  // block, 8 per level-2 block.
+  HierarchySpec spec({{2.4, 2, 1.0}, {4.8, 2, 1.0}, {9.6, 2, 1.0}});
+  EXPECT_DOUBLE_EQ(spec.AchievableCapacity(0, true), 2.0);
+  EXPECT_DOUBLE_EQ(spec.AchievableCapacity(1, true), 4.0);
+  EXPECT_DOUBLE_EQ(spec.AchievableCapacity(2, true), 8.0);
+}
+
+TEST(AchievableCapacity, CapsByChildrenNotOnlyByCl) {
+  // A generous C_1 cannot be realized when its children are tight.
+  HierarchySpec spec({{2.0, 2, 1.0}, {100.0, 2, 1.0}, {100.0, 2, 1.0}});
+  EXPECT_DOUBLE_EQ(spec.AchievableCapacity(1, true), 4.0);
+  EXPECT_DOUBLE_EQ(spec.AchievableCapacity(2, true), 8.0);
+}
+
+TEST(AchievableCapacity, GranularityMarginForGeneralSizes) {
+  // Non-integral regime: each level loses (K-1) * granularity.
+  HierarchySpec spec({{10.0, 2, 1.0}, {20.0, 2, 1.0}, {40.0, 2, 1.0}});
+  EXPECT_DOUBLE_EQ(spec.AchievableCapacity(0, false, 3.0), 10.0);
+  EXPECT_DOUBLE_EQ(spec.AchievableCapacity(1, false, 3.0), 17.0);  // 2*10-3
+  EXPECT_DOUBLE_EQ(spec.AchievableCapacity(2, false, 3.0), 31.0);  // 2*17-3
+}
+
+TEST(AchievableCapacity, MonotoneInLevel) {
+  const HierarchySpec spec = FullBinaryHierarchy(1000.0, 4, 0.1);
+  double prev = 0.0;
+  for (Level l = 0; l <= spec.root_level(); ++l) {
+    const double cap = spec.AchievableCapacity(l, true);
+    EXPECT_GE(cap, prev);
+    EXPECT_LE(cap, spec.capacity(l));
+    prev = cap;
+  }
+}
+
+TEST(AchievableCapacity, ThrowsWhenTooTightForGranularity) {
+  // Leaves hold 1.0 but the items are size 2: level-1 capacity underflows.
+  HierarchySpec spec({{1.0, 2, 1.0}, {2.0, 2, 1.0}});
+  EXPECT_THROW(spec.AchievableCapacity(1, false, 2.0), Error);
+  EXPECT_THROW(spec.AchievableCapacity(0, true, 0.0), Error);  // bad gran
+}
+
+TEST(AchievableCapacity, PaperHierarchyIsSelfConsistent) {
+  // The experimental hierarchy must be realizable at every level for unit
+  // cells, with room for the whole circuit at the root.
+  for (double n : {546.0, 1193.0, 1669.0, 2396.0, 3512.0}) {
+    const HierarchySpec spec = FullBinaryHierarchy(n);
+    EXPECT_GE(spec.AchievableCapacity(spec.root_level(), true), n)
+        << "n = " << n;
+  }
+}
+
+}  // namespace
+}  // namespace htp

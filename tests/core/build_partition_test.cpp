@@ -1,0 +1,124 @@
+#include "core/build_partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/htp_flow.hpp"
+#include "core/paper_examples.hpp"
+#include "test_util.hpp"
+
+namespace htp {
+namespace {
+
+TEST(BuildPartition, OptimalMetricReconstructsFigure2Optimum) {
+  Hypergraph hg = Figure2Graph();
+  const HierarchySpec spec = Figure2Spec();
+  TreePartition optimal = Figure2OptimalPartition(hg);
+  const SpreadingMetric metric = MetricFromPartition(optimal, spec);
+  Rng rng(1);
+  const TreePartition built =
+      BuildPartitionTopDown(hg, spec, metric, MetricCarver(), rng);
+  RequireValidPartition(built, spec);
+  EXPECT_DOUBLE_EQ(PartitionCost(built, spec), kFigure2OptimalCost);
+}
+
+TEST(BuildPartition, SingleLeafWhenEverythingFits) {
+  Hypergraph hg = testutil::RandomConnectedHypergraph(6, 4, 3, 1);
+  HierarchySpec spec({{10.0, 2, 1.0}, {10.0, 2, 1.0}});
+  const SpreadingMetric zero(hg.num_nets(), 0.0);
+  Rng rng(1);
+  const TreePartition tp =
+      BuildPartitionTopDown(hg, spec, zero, MetricCarver(), rng);
+  RequireValidPartition(tp, spec);
+  EXPECT_EQ(tp.root_level(), 0u);  // total <= C_0
+  EXPECT_DOUBLE_EQ(PartitionCost(tp, spec), 0.0);
+}
+
+TEST(BuildPartition, ChainDescendsWhenSetFitsOneChild) {
+  // Root level forced high by total size, but after the first carve the
+  // pieces are small: leaves still land at level 0 through chains.
+  Hypergraph hg = testutil::RandomConnectedHypergraph(16, 12, 3, 2);
+  HierarchySpec spec(
+      {{8.0, 2, 1.0}, {8.5, 2, 1.0}, {9.0, 2, 1.0}, {16.0, 2, 1.0}});
+  const SpreadingMetric zero(hg.num_nets(), 0.0);
+  Rng rng(3);
+  const TreePartition tp =
+      BuildPartitionTopDown(hg, spec, zero, MetricCarver(), rng);
+  RequireValidPartition(tp, spec);
+  for (BlockId leaf : tp.Leaves()) EXPECT_EQ(tp.level(leaf), 0u);
+  EXPECT_EQ(tp.root_level(), 3u);
+}
+
+TEST(BuildPartition, RespectsBranchBounds) {
+  Hypergraph hg = testutil::RandomConnectedHypergraph(60, 80, 4, 7);
+  const HierarchySpec spec = FullBinaryHierarchy(hg.total_size(), 3, 0.15);
+  const SpreadingMetric zero(hg.num_nets(), 0.0);
+  Rng rng(11);
+  const TreePartition tp =
+      BuildPartitionTopDown(hg, spec, zero, MetricCarver(), rng);
+  RequireValidPartition(tp, spec);
+  for (BlockId q = 0; q < tp.num_blocks(); ++q)
+    if (tp.level(q) > 0)
+      EXPECT_LE(tp.children(q).size(), spec.max_branches(tp.level(q)));
+}
+
+TEST(RunHtpFlow, SolvesFigure2ToOptimum) {
+  Hypergraph hg = Figure2Graph();
+  const HierarchySpec spec = Figure2Spec();
+  HtpFlowParams params;
+  params.iterations = 4;
+  params.seed = 2024;
+  const HtpFlowResult result = RunHtpFlow(hg, spec, params);
+  RequireValidPartition(result.partition, spec);
+  EXPECT_DOUBLE_EQ(result.cost, kFigure2OptimalCost);
+  ASSERT_EQ(result.iterations.size(), 4u);
+  for (const HtpFlowIteration& it : result.iterations) {
+    EXPECT_TRUE(it.metric_converged);
+    // Lemma 2: every metric cost lower-bounds every achievable cost, and
+    // Lemma 1 bounds it by the best partition's cost from above... in the
+    // heuristic it just needs to be positive and no larger than a feasible
+    // integral solution's cost would force.
+    EXPECT_GT(it.metric_cost, 0.0);
+    EXPECT_GE(it.best_partition_cost, result.cost);
+  }
+}
+
+TEST(RunHtpFlow, MultipleConstructionsPerMetricNeverHurt) {
+  Hypergraph hg = testutil::RandomConnectedHypergraph(48, 60, 3, 21);
+  const HierarchySpec spec = FullBinaryHierarchy(hg.total_size(), 3, 0.2);
+  HtpFlowParams one;
+  one.iterations = 2;
+  one.constructions_per_metric = 1;
+  one.seed = 9;
+  HtpFlowParams many = one;
+  many.constructions_per_metric = 6;
+  const HtpFlowResult r1 = RunHtpFlow(hg, spec, one);
+  const HtpFlowResult rm = RunHtpFlow(hg, spec, many);
+  RequireValidPartition(r1.partition, spec);
+  RequireValidPartition(rm.partition, spec);
+  EXPECT_LE(rm.cost, r1.cost + 1e-9);  // superset of constructions
+}
+
+class BuildPartitionPropertyTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BuildPartitionPropertyTest, AlwaysProducesValidPartitions) {
+  const std::uint64_t seed = GetParam();
+  Hypergraph hg = testutil::RandomConnectedHypergraph(
+      30 + seed % 50, 30 + seed % 60, 2 + seed % 5, seed);
+  const HierarchySpec spec =
+      FullBinaryHierarchy(hg.total_size(), 2 + seed % 3, 0.2);
+  std::vector<double> metric(hg.num_nets());
+  Rng lrng(seed * 3);
+  for (double& d : metric) d = lrng.next_double() * 2.0;
+  Rng rng(seed);
+  const TreePartition tp =
+      BuildPartitionTopDown(hg, spec, metric, MetricCarver(), rng);
+  RequireValidPartition(tp, spec);
+  EXPECT_GE(PartitionCost(tp, spec), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BuildPartitionPropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 15));
+
+}  // namespace
+}  // namespace htp

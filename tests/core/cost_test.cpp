@@ -1,0 +1,122 @@
+#include "core/cost.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/paper_examples.hpp"
+
+namespace htp {
+namespace {
+
+TEST(Cost, Figure2WorkedExample) {
+  // The paper: edges cut only at level 0 cost w0 * 2 = 2; edges cut at both
+  // levels cost w0 * 2 + w1 * 2 = 6; total of the shown partition = 20.
+  Hypergraph hg = Figure2Graph();
+  const HierarchySpec spec = Figure2Spec();
+  TreePartition tp = Figure2OptimalPartition(hg);
+
+  std::size_t cost2 = 0, cost6 = 0, cost0 = 0;
+  for (NetId e = 0; e < hg.num_nets(); ++e) {
+    const double c = NetCost(tp, spec, e);
+    if (c == 2.0)
+      ++cost2;
+    else if (c == 6.0)
+      ++cost6;
+    else if (c == 0.0)
+      ++cost0;
+    else
+      FAIL() << "unexpected edge cost " << c;
+  }
+  EXPECT_EQ(cost0, 24u);  // intra-cluster K4 edges
+  EXPECT_EQ(cost2, 4u);   // the (a,b) edges
+  EXPECT_EQ(cost6, 2u);   // the (c,d) edges
+  EXPECT_DOUBLE_EQ(PartitionCost(tp, spec), kFigure2OptimalCost);
+}
+
+TEST(Cost, SpanCountsMultiwayNets) {
+  // A 4-pin net spread over 3 leaves at level 0 spans 3 there.
+  HypergraphBuilder builder;
+  for (int i = 0; i < 4; ++i) builder.add_node();
+  builder.add_net({0u, 1u, 2u, 3u});
+  Hypergraph hg = builder.build();
+  HierarchySpec spec({{2.0, 4, 1.0}, {4.0, 4, 1.0}});
+  TreePartition tp(hg, 1);
+  const BlockId l0 = tp.AddChild(TreePartition::kRoot);
+  const BlockId l1 = tp.AddChild(TreePartition::kRoot);
+  const BlockId l2 = tp.AddChild(TreePartition::kRoot);
+  tp.AssignNode(0, l0);
+  tp.AssignNode(1, l0);
+  tp.AssignNode(2, l1);
+  tp.AssignNode(3, l2);
+  EXPECT_EQ(NetSpan(tp, 0, 0), 3u);
+  EXPECT_DOUBLE_EQ(NetCost(tp, spec, 0), 3.0);
+}
+
+TEST(Cost, SpanIsZeroWhenContained) {
+  Hypergraph hg = Figure2Graph();
+  TreePartition tp = Figure2OptimalPartition(hg);
+  // Net 0 is an intra-cluster K4 edge (nodes 0-1).
+  EXPECT_EQ(NetSpan(tp, 0, 0), 0u);
+  EXPECT_EQ(NetSpan(tp, 0, 1), 0u);
+}
+
+TEST(Cost, WeightsScaleLevels) {
+  Hypergraph hg = Figure2Graph();
+  TreePartition tp = Figure2OptimalPartition(hg);
+  // Doubling w0 adds 2 per level-0-cut edge: 6 edges cut at level 0.
+  HierarchySpec heavier({{4.0, 2, 2.0}, {8.0, 2, 2.0}, {16.0, 2, 1.0}});
+  EXPECT_DOUBLE_EQ(PartitionCost(tp, heavier),
+                   /* 6 edges * 2*2 at level 0 + 2 edges * 2*2 at level 1 */
+                   6 * 4.0 + 2 * 4.0);
+}
+
+TEST(Cost, CapacityScalesNetCost) {
+  HypergraphBuilder builder;
+  builder.add_node();
+  builder.add_node();
+  builder.add_net({0u, 1u}, 3.5);
+  Hypergraph hg = builder.build();
+  HierarchySpec spec({{1.0, 2, 1.0}, {2.0, 2, 1.0}});
+  TreePartition tp(hg, 1);
+  const BlockId a = tp.AddChild(TreePartition::kRoot);
+  const BlockId b = tp.AddChild(TreePartition::kRoot);
+  tp.AssignNode(0, a);
+  tp.AssignNode(1, b);
+  EXPECT_DOUBLE_EQ(PartitionCost(tp, spec), 2.0 * 3.5);
+}
+
+TEST(Cost, ByLevelBreakdownSumsToTotal) {
+  Hypergraph hg = Figure2Graph();
+  const HierarchySpec spec = Figure2Spec();
+  TreePartition tp = Figure2OptimalPartition(hg);
+  const std::vector<double> by_level = PartitionCostByLevel(tp, spec);
+  ASSERT_EQ(by_level.size(), 2u);
+  EXPECT_DOUBLE_EQ(by_level[0] + by_level[1], PartitionCost(tp, spec));
+  // Level 0: 6 cut edges * w0 * 2 = 12; level 1: 2 * w1 * 2 = 8.
+  EXPECT_DOUBLE_EQ(by_level[0], 12.0);
+  EXPECT_DOUBLE_EQ(by_level[1], 8.0);
+}
+
+TEST(Cost, CutNetsByLevel) {
+  Hypergraph hg = Figure2Graph();
+  TreePartition tp = Figure2OptimalPartition(hg);
+  const std::vector<std::size_t> cuts = CutNetsByLevel(tp);
+  ASSERT_EQ(cuts.size(), 2u);
+  EXPECT_EQ(cuts[0], 6u);
+  EXPECT_EQ(cuts[1], 2u);
+}
+
+TEST(Cost, SingleLeafTreeCostsNothing) {
+  HypergraphBuilder builder;
+  builder.add_node();
+  builder.add_node();
+  builder.add_net({0u, 1u});
+  Hypergraph hg = builder.build();
+  TreePartition tp(hg, 0);  // root is the only (leaf) block
+  tp.AssignNode(0, TreePartition::kRoot);
+  tp.AssignNode(1, TreePartition::kRoot);
+  HierarchySpec spec({{2.0, 2, 1.0}, {2.0, 2, 1.0}});
+  EXPECT_DOUBLE_EQ(PartitionCost(tp, spec), 0.0);
+}
+
+}  // namespace
+}  // namespace htp

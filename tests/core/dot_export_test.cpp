@@ -1,0 +1,66 @@
+#include "core/dot_export.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/paper_examples.hpp"
+
+namespace htp {
+namespace {
+
+TEST(DotExport, RendersFigure2Tree) {
+  Hypergraph hg = Figure2Graph();
+  const HierarchySpec spec = Figure2Spec();
+  TreePartition tp = Figure2OptimalPartition(hg);
+  const std::string dot = PartitionToDot(tp, spec);
+  EXPECT_NE(dot.find("digraph htp_partition"), std::string::npos);
+  // One node per block, one edge per child.
+  std::size_t nodes = 0, edges = 0, pos = 0;
+  while ((pos = dot.find("[label=", pos)) != std::string::npos) {
+    ++nodes;
+    ++pos;
+  }
+  pos = 0;
+  while ((pos = dot.find(" -> ", pos)) != std::string::npos) {
+    ++edges;
+    ++pos;
+  }
+  EXPECT_EQ(nodes, tp.num_blocks());
+  EXPECT_EQ(edges, tp.num_blocks() - 1);
+  // Pin annotations appear for non-root blocks (e.g. "3 pins" on leaves).
+  EXPECT_NE(dot.find("3 pins"), std::string::npos);
+}
+
+TEST(DotExport, RequiresCompletePartition) {
+  Hypergraph hg = Figure2Graph();
+  TreePartition tp(hg, 2);
+  EXPECT_THROW(PartitionToDot(tp, Figure2Spec()), Error);
+}
+
+TEST(ConnectivityCost, MatchesSpanRelationOnFigure2) {
+  // For 2-pin nets lambda - 1 = span / 2 when cut: 6 cut edges at level 0
+  // give km1 = 6; 2 cut at level 1 give km1 = 2.
+  Hypergraph hg = Figure2Graph();
+  TreePartition tp = Figure2OptimalPartition(hg);
+  EXPECT_DOUBLE_EQ(ConnectivityCost(tp, 0), 6.0);
+  EXPECT_DOUBLE_EQ(ConnectivityCost(tp, 1), 2.0);
+  EXPECT_DOUBLE_EQ(ConnectivityCost(tp, 2), 0.0);  // root holds everything
+}
+
+TEST(ConnectivityCost, MultiPinNetCountsLambdaMinusOne) {
+  HypergraphBuilder builder;
+  for (int i = 0; i < 4; ++i) builder.add_node();
+  builder.add_net({0u, 1u, 2u, 3u}, 2.0);
+  Hypergraph hg = builder.build();
+  TreePartition tp(hg, 1);
+  const BlockId a = tp.AddChild(TreePartition::kRoot);
+  const BlockId b = tp.AddChild(TreePartition::kRoot);
+  const BlockId c = tp.AddChild(TreePartition::kRoot);
+  tp.AssignNode(0, a);
+  tp.AssignNode(1, a);
+  tp.AssignNode(2, b);
+  tp.AssignNode(3, c);
+  EXPECT_DOUBLE_EQ(ConnectivityCost(tp, 0), (3.0 - 1.0) * 2.0);
+}
+
+}  // namespace
+}  // namespace htp

@@ -1,0 +1,48 @@
+#include "core/paper_examples.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/cost.hpp"
+#include "partition/exhaustive.hpp"
+
+namespace htp {
+namespace {
+
+TEST(Figure2, GraphMatchesPaperDescription) {
+  Hypergraph hg = Figure2Graph();
+  EXPECT_EQ(hg.num_nodes(), 16u);   // "a graph of 16 nodes"
+  EXPECT_EQ(hg.num_nets(), 30u);    // "and 30 edges"
+  EXPECT_TRUE(hg.unit_sizes());     // "with unit sizes"
+  for (NetId e = 0; e < hg.num_nets(); ++e) {
+    EXPECT_EQ(hg.net_degree(e), 2u);              // a graph
+    EXPECT_DOUBLE_EQ(hg.net_capacity(e), 1.0);    // "unit edge capacities"
+  }
+}
+
+TEST(Figure2, SpecMatchesPaperTable) {
+  const HierarchySpec spec = Figure2Spec();
+  EXPECT_EQ(spec.root_level(), 2u);
+  EXPECT_DOUBLE_EQ(spec.capacity(0), 4.0);
+  EXPECT_DOUBLE_EQ(spec.capacity(1), 8.0);
+  EXPECT_DOUBLE_EQ(spec.weight(0), 1.0);
+  EXPECT_DOUBLE_EQ(spec.weight(1), 2.0);
+}
+
+// Certifies by exhaustive enumeration that the intended partition is a true
+// optimum of the reconstructed instance ("can be optimally partitioned into
+// this tree hierarchy as shown in Figure 2(b)").
+TEST(Figure2, IntendedPartitionIsGlobalOptimum) {
+  Hypergraph hg = Figure2Graph();
+  const HierarchySpec spec = Figure2Spec();
+  TreePartition intended = Figure2OptimalPartition(hg);
+  RequireValidPartition(intended, spec);
+  EXPECT_DOUBLE_EQ(PartitionCost(intended, spec), kFigure2OptimalCost);
+
+  const auto exact = ExhaustiveHtp(hg, spec);
+  ASSERT_TRUE(exact.has_value()) << "enumeration cap hit";
+  EXPECT_DOUBLE_EQ(exact->cost, kFigure2OptimalCost);
+  RequireValidPartition(exact->best, spec);
+}
+
+}  // namespace
+}  // namespace htp

@@ -1,0 +1,148 @@
+#include "core/find_cut.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/paper_examples.hpp"
+#include "test_util.hpp"
+
+namespace htp {
+namespace {
+
+// Independent cut recomputation for cross-checking CarveResult.
+double RecomputeCut(const Hypergraph& hg, const std::vector<NodeId>& inside) {
+  std::vector<char> in(hg.num_nodes(), 0);
+  for (NodeId v : inside) in[v] = 1;
+  double cut = 0.0;
+  for (NetId e = 0; e < hg.num_nets(); ++e) {
+    bool has_in = false, has_out = false;
+    for (NodeId v : hg.pins(e)) (in[v] ? has_in : has_out) = true;
+    if (has_in && has_out) cut += hg.net_capacity(e);
+  }
+  return cut;
+}
+
+TEST(MetricFindCut, PeelsAClusterUnderTheOptimalMetric) {
+  // Under the Lemma-1 metric of the optimal Figure-2 partition, growing by
+  // cheapest nets keeps clusters together: a [4..4] carve must return one
+  // whole cluster with cut <= 4 (= 2 cheap + up to 2 cross edges... the
+  // intended clusters have boundary 3).
+  Hypergraph hg = Figure2Graph();
+  const HierarchySpec spec = Figure2Spec();
+  TreePartition tp = Figure2OptimalPartition(hg);
+  const SpreadingMetric metric = MetricFromPartition(tp, spec);
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    Rng rng(seed);
+    const CarveResult cut = MetricFindCut(hg, metric, 4.0, 4.0, rng);
+    ASSERT_TRUE(cut.in_window);
+    ASSERT_EQ(cut.nodes.size(), 4u);
+    // All four nodes from the same cluster (cluster id = v / 4).
+    const NodeId cluster = cut.nodes[0] / 4;
+    for (NodeId v : cut.nodes) EXPECT_EQ(v / 4, cluster);
+    EXPECT_DOUBLE_EQ(cut.cut_value, 3.0);
+  }
+}
+
+TEST(MetricFindCut, ReportedCutMatchesRecomputation) {
+  Hypergraph hg = testutil::RandomConnectedHypergraph(40, 50, 4, 3);
+  std::vector<double> metric(hg.num_nets());
+  Rng lrng(17);
+  for (double& d : metric) d = lrng.next_double();
+  Rng rng(5);
+  const CarveResult cut = MetricFindCut(hg, metric, 10.0, 20.0, rng);
+  EXPECT_TRUE(cut.in_window);
+  EXPECT_GE(cut.size, 10.0);
+  EXPECT_LE(cut.size, 20.0);
+  EXPECT_NEAR(cut.cut_value, RecomputeCut(hg, cut.nodes), 1e-9);
+}
+
+TEST(MetricFindCut, WholeGraphWhenUbCoversEverything) {
+  Hypergraph hg = testutil::RandomConnectedHypergraph(12, 8, 3, 2);
+  const std::vector<double> metric(hg.num_nets(), 1.0);
+  Rng rng(1);
+  const CarveResult cut = MetricFindCut(hg, metric, 1.0, 100.0, rng);
+  EXPECT_EQ(cut.nodes.size(), hg.num_nodes());
+  EXPECT_DOUBLE_EQ(cut.cut_value, 0.0);
+}
+
+TEST(MetricFindCut, HandlesDisconnectedGraphs) {
+  HypergraphBuilder builder;
+  for (int i = 0; i < 8; ++i) builder.add_node();
+  builder.add_net({0u, 1u});
+  builder.add_net({2u, 3u});  // two 2-node islands + 4 isolated nodes
+  Hypergraph hg = builder.build();
+  const std::vector<double> metric(hg.num_nets(), 1.0);
+  Rng rng(9);
+  const CarveResult cut = MetricFindCut(hg, metric, 5.0, 6.0, rng);
+  EXPECT_TRUE(cut.in_window);
+  EXPECT_GE(cut.size, 5.0);
+  EXPECT_LE(cut.size, 6.0);
+}
+
+TEST(MetricFindCut, FallbackWhenWindowUnreachable) {
+  // Node sizes 3,3,3 with window [4..5]: no prefix hits the window; the
+  // carver must still return a nonempty best-effort prefix of size <= 5.
+  HypergraphBuilder builder;
+  for (int i = 0; i < 3; ++i) builder.add_node(3.0);
+  builder.add_net({0u, 1u});
+  builder.add_net({1u, 2u});
+  Hypergraph hg = builder.build();
+  const std::vector<double> metric(hg.num_nets(), 1.0);
+  Rng rng(2);
+  const CarveResult cut = MetricFindCut(hg, metric, 4.0, 5.0, rng);
+  EXPECT_FALSE(cut.in_window);
+  EXPECT_FALSE(cut.nodes.empty());
+  EXPECT_LE(cut.size, 5.0);
+}
+
+TEST(MetricFindCut, PrefersCheapBoundary) {
+  // Chain of two K4 clusters joined by an expensive edge; metric puts
+  // length 10 on the bridge, so the carve should cut exactly there.
+  HypergraphBuilder builder;
+  for (int i = 0; i < 8; ++i) builder.add_node();
+  std::vector<double> metric;
+  for (NodeId base : {0u, 4u})
+    for (NodeId i = 0; i < 4; ++i)
+      for (NodeId j = i + 1; j < 4; ++j) {
+        builder.add_net({base + i, base + j});
+        metric.push_back(0.1);
+      }
+  builder.add_net({3u, 4u});
+  metric.push_back(10.0);
+  Hypergraph hg = builder.build();
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    Rng rng(seed);
+    const CarveResult cut = MetricFindCut(hg, metric, 2.0, 4.0, rng);
+    ASSERT_TRUE(cut.in_window);
+    EXPECT_DOUBLE_EQ(cut.size, 4.0);
+    EXPECT_DOUBLE_EQ(cut.cut_value, 1.0);  // only the bridge
+  }
+}
+
+class FindCutPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FindCutPropertyTest, AlwaysReturnsValidWindowedPrefix) {
+  const std::uint64_t seed = GetParam();
+  Hypergraph hg = testutil::RandomConnectedHypergraph(
+      15 + seed % 40, 10 + seed % 50, 2 + seed % 5, seed);
+  std::vector<double> metric(hg.num_nets());
+  Rng lrng(seed ^ 0x777);
+  for (double& d : metric) d = lrng.next_double() * 3.0;
+  Rng rng(seed);
+  const double ub = 4.0 + static_cast<double>(seed % 10);
+  const double lb = ub / 2.0;
+  const CarveResult cut = MetricFindCut(hg, metric, lb, ub, rng);
+  ASSERT_FALSE(cut.nodes.empty());
+  EXPECT_LE(cut.size, ub + 1e-9);
+  if (cut.in_window) EXPECT_GE(cut.size, lb - 1e-9);
+  EXPECT_NEAR(cut.cut_value, RecomputeCut(hg, cut.nodes), 1e-9);
+  // No duplicates.
+  std::vector<NodeId> sorted = cut.nodes;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FindCutPropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace htp

@@ -1,0 +1,92 @@
+#include "core/hierarchy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace htp {
+namespace {
+
+TEST(HierarchySpec, ValidatesShape) {
+  EXPECT_THROW(HierarchySpec({LevelSpec{4.0, 2, 1.0}}), Error);  // one level
+  EXPECT_THROW(HierarchySpec({{0.0, 2, 1.0}, {8.0, 2, 1.0}}), Error);
+  EXPECT_THROW(HierarchySpec({{8.0, 2, 1.0}, {4.0, 2, 1.0}}), Error);  // dec
+  EXPECT_THROW(HierarchySpec({{4.0, 2, 1.0}, {8.0, 1, 1.0}}), Error);  // K<2
+  EXPECT_THROW(HierarchySpec({{4.0, 2, -1.0}, {8.0, 2, 1.0}}), Error); // w<0
+  EXPECT_NO_THROW(HierarchySpec({{4.0, 2, 1.0}, {8.0, 2, 1.0}}));
+}
+
+TEST(HierarchySpec, Accessors) {
+  HierarchySpec spec({{4.0, 2, 1.0}, {8.0, 3, 2.0}, {16.0, 4, 1.0}});
+  EXPECT_EQ(spec.root_level(), 2u);
+  EXPECT_EQ(spec.num_levels(), 3u);
+  EXPECT_DOUBLE_EQ(spec.capacity(1), 8.0);
+  EXPECT_EQ(spec.max_branches(2), 4u);
+  EXPECT_DOUBLE_EQ(spec.weight(1), 2.0);
+  EXPECT_THROW(spec.capacity(3), Error);
+}
+
+TEST(HierarchySpec, GFunctionPiecewise) {
+  // C = (4, 8, 16), w = (1, 2).
+  HierarchySpec spec({{4.0, 2, 1.0}, {8.0, 2, 2.0}, {16.0, 2, 1.0}});
+  EXPECT_DOUBLE_EQ(spec.g(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(spec.g(4.0), 0.0);  // x <= C0
+  // C0 < x <= C1: g = 2 (x - 4) * 1.
+  EXPECT_DOUBLE_EQ(spec.g(6.0), 4.0);
+  EXPECT_DOUBLE_EQ(spec.g(8.0), 8.0);
+  // C1 < x <= C2: g = 2 [ (x-4)*1 + (x-8)*2 ].
+  EXPECT_DOUBLE_EQ(spec.g(12.0), 2.0 * (8.0 + 8.0));
+  EXPECT_DOUBLE_EQ(spec.g(16.0), 2.0 * (12.0 + 16.0));
+}
+
+TEST(HierarchySpec, GIsMonotoneNondecreasing) {
+  HierarchySpec spec({{3.0, 2, 0.5}, {9.0, 2, 2.0}, {27.0, 2, 1.5},
+                      {81.0, 2, 1.0}});
+  double prev = -1.0;
+  for (double x = 0.0; x <= 81.0; x += 0.5) {
+    const double g = spec.g(x);
+    EXPECT_GE(g, prev);
+    prev = g;
+  }
+}
+
+TEST(HierarchySpec, LevelForSize) {
+  HierarchySpec spec({{4.0, 2, 1.0}, {8.0, 2, 1.0}, {16.0, 2, 1.0}});
+  EXPECT_EQ(spec.LevelForSize(1.0), 0u);
+  EXPECT_EQ(spec.LevelForSize(4.0), 0u);
+  EXPECT_EQ(spec.LevelForSize(4.5), 1u);
+  EXPECT_EQ(spec.LevelForSize(16.0), 2u);
+  EXPECT_THROW(spec.LevelForSize(17.0), Error);
+}
+
+TEST(FullBinaryHierarchy, PaperConfiguration) {
+  // "full binary tree with height 4": root level 4, K = 2 everywhere,
+  // C_l = ceil(n / 2^(4-l)) * 1.1.
+  const HierarchySpec spec = FullBinaryHierarchy(1600.0);
+  EXPECT_EQ(spec.root_level(), 4u);
+  for (Level l = 1; l <= 4; ++l) EXPECT_EQ(spec.max_branches(l), 2u);
+  EXPECT_NEAR(spec.capacity(0), std::ceil(1600.0 / 16.0) * 1.1, 1e-9);
+  EXPECT_NEAR(spec.capacity(3), std::ceil(1600.0 / 2.0) * 1.1, 1e-9);
+  EXPECT_DOUBLE_EQ(spec.capacity(4), 1600.0);
+  EXPECT_EQ(spec.LevelForSize(1600.0), 4u);
+  spec.Validate();
+}
+
+TEST(UniformHierarchy, CustomWeightsAndBranching) {
+  const HierarchySpec spec =
+      UniformHierarchy(270.0, 3, 3, 0.2, {1.0, 2.0, 4.0});
+  EXPECT_EQ(spec.root_level(), 3u);
+  EXPECT_EQ(spec.max_branches(1), 3u);
+  EXPECT_DOUBLE_EQ(spec.weight(2), 4.0);
+  EXPECT_THROW(UniformHierarchy(100.0, 2, 3, 0.1, {1.0}), Error);  // w size
+}
+
+TEST(HierarchySpec, ToStringMentionsEveryLevel) {
+  HierarchySpec spec({{4.0, 2, 1.0}, {8.0, 2, 2.0}, {16.0, 2, 1.0}});
+  const std::string s = spec.ToString();
+  EXPECT_NE(s.find("l0"), std::string::npos);
+  EXPECT_NE(s.find("l2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace htp

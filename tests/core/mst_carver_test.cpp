@@ -1,0 +1,122 @@
+#include "core/mst_carver.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/htp_flow.hpp"
+#include "core/paper_examples.hpp"
+#include "test_util.hpp"
+
+namespace htp {
+namespace {
+
+double RecomputeCut(const Hypergraph& hg, const std::vector<NodeId>& inside) {
+  std::vector<char> in(hg.num_nodes(), 0);
+  for (NodeId v : inside) in[v] = 1;
+  double cut = 0.0;
+  for (NetId e = 0; e < hg.num_nets(); ++e) {
+    bool has_in = false, has_out = false;
+    for (NodeId v : hg.pins(e)) (in[v] ? has_in : has_out) = true;
+    if (has_in && has_out) cut += hg.net_capacity(e);
+  }
+  return cut;
+}
+
+TEST(MstSplitCarve, PeelsAFigure2Cluster) {
+  Hypergraph hg = Figure2Graph();
+  const HierarchySpec spec = Figure2Spec();
+  TreePartition tp = Figure2OptimalPartition(hg);
+  const SpreadingMetric metric = MetricFromPartition(tp, spec);
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    Rng rng(seed);
+    const CarveResult cut = MstSplitCarve(hg, metric, 4.0, 4.0, rng);
+    ASSERT_TRUE(cut.in_window);
+    ASSERT_EQ(cut.nodes.size(), 4u);
+    const NodeId cluster = cut.nodes[0] / 4;
+    for (NodeId v : cut.nodes) EXPECT_EQ(v / 4, cluster);
+    EXPECT_DOUBLE_EQ(cut.cut_value, 3.0);
+  }
+}
+
+TEST(MstSplitCarve, FallsBackWhenNoSubtreeFits) {
+  // A star: every MST subtree below the hub is a single node, so a window
+  // requiring >= 3 nodes has no 1-respecting candidate rooted below the
+  // hub, and the hub's own subtree is everything. The fallback must still
+  // produce a sane carve.
+  HypergraphBuilder builder;
+  const NodeId hub = builder.add_node();
+  for (int i = 0; i < 6; ++i) {
+    const NodeId leaf = builder.add_node();
+    builder.add_net({hub, leaf});
+  }
+  Hypergraph hg = builder.build();
+  const std::vector<double> metric(hg.num_nets(), 1.0);
+  Rng rng(3);
+  const CarveResult cut = MstSplitCarve(hg, metric, 3.0, 4.0, rng);
+  EXPECT_FALSE(cut.nodes.empty());
+  EXPECT_LE(cut.size, 4.0 + 1e-9);
+}
+
+TEST(MstSplitCarve, HandlesDisconnectedGraphs) {
+  HypergraphBuilder builder;
+  for (int i = 0; i < 9; ++i) builder.add_node();
+  builder.add_net({0u, 1u, 2u});
+  builder.add_net({3u, 4u});
+  // nodes 5..8 isolated
+  Hypergraph hg = builder.build();
+  const std::vector<double> metric(hg.num_nets(), 1.0);
+  Rng rng(5);
+  const CarveResult cut = MstSplitCarve(hg, metric, 2.0, 4.0, rng);
+  EXPECT_FALSE(cut.nodes.empty());
+  EXPECT_GE(cut.size, 2.0);
+  EXPECT_LE(cut.size, 4.0);
+}
+
+TEST(RunHtpFlow, MstCarverSolvesFigure2) {
+  Hypergraph hg = Figure2Graph();
+  HtpFlowParams params;
+  params.iterations = 4;
+  params.carver = CarverKind::kMstSplit;
+  const HtpFlowResult result = RunHtpFlow(hg, Figure2Spec(), params);
+  RequireValidPartition(result.partition, Figure2Spec());
+  EXPECT_DOUBLE_EQ(result.cost, kFigure2OptimalCost);
+}
+
+class MstCarvePropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MstCarvePropertyTest, CutsAreConsistentAndWindowed) {
+  const std::uint64_t seed = GetParam();
+  Hypergraph hg = testutil::RandomConnectedHypergraph(
+      20 + seed % 40, 15 + seed % 40, 2 + seed % 4, seed);
+  std::vector<double> metric(hg.num_nets());
+  Rng lrng(seed * 3 + 1);
+  for (double& d : metric) d = lrng.next_double();
+  Rng rng(seed);
+  const double ub = 6.0 + static_cast<double>(seed % 8);
+  const CarveResult cut = MstSplitCarve(hg, metric, ub / 2.0, ub, rng);
+  ASSERT_FALSE(cut.nodes.empty());
+  EXPECT_LE(cut.size, ub + 1e-9);
+  EXPECT_NEAR(cut.cut_value, RecomputeCut(hg, cut.nodes), 1e-9);
+  std::vector<NodeId> sorted = cut.nodes;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end());
+}
+
+TEST_P(MstCarvePropertyTest, FlowWithMstCarverProducesValidPartitions) {
+  const std::uint64_t seed = GetParam();
+  Hypergraph hg = testutil::RandomConnectedHypergraph(
+      30 + seed % 30, 30 + seed % 40, 3, seed ^ 0xfeed);
+  const HierarchySpec spec =
+      FullBinaryHierarchy(hg.total_size(), 2 + seed % 2, 0.2);
+  HtpFlowParams params;
+  params.iterations = 1;
+  params.carver = CarverKind::kMstSplit;
+  params.seed = seed;
+  const HtpFlowResult result = RunHtpFlow(hg, spec, params);
+  RequireValidPartition(result.partition, spec);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MstCarvePropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace htp

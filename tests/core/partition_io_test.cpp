@@ -1,0 +1,110 @@
+#include "core/partition_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/cost.hpp"
+#include "core/paper_examples.hpp"
+#include "partition/random_partition.hpp"
+#include "test_util.hpp"
+
+namespace htp {
+namespace {
+
+TEST(PartitionIo, RoundTripsFigure2) {
+  Hypergraph hg = Figure2Graph();
+  const HierarchySpec spec = Figure2Spec();
+  TreePartition tp = Figure2OptimalPartition(hg);
+  const std::string text = WritePartitionText(tp);
+  const TreePartition back = ReadPartitionText(hg, text);
+  EXPECT_EQ(back.num_blocks(), tp.num_blocks());
+  EXPECT_EQ(back.root_level(), tp.root_level());
+  for (NodeId v = 0; v < hg.num_nodes(); ++v)
+    EXPECT_EQ(back.leaf_of(v), tp.leaf_of(v));
+  EXPECT_DOUBLE_EQ(PartitionCost(back, spec), PartitionCost(tp, spec));
+}
+
+TEST(PartitionIo, RoundTripsRandomPartitions) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    Hypergraph hg = testutil::RandomConnectedHypergraph(40, 40, 4, seed);
+    const HierarchySpec spec = FullBinaryHierarchy(hg.total_size(), 3, 0.3);
+    Rng rng(seed);
+    TreePartition tp = RandomPartition(hg, spec, rng);
+    const TreePartition back =
+        ReadPartitionText(hg, WritePartitionText(tp));
+    for (NodeId v = 0; v < hg.num_nodes(); ++v)
+      EXPECT_EQ(back.leaf_of(v), tp.leaf_of(v));
+    RequireValidPartition(back, spec);
+  }
+}
+
+TEST(PartitionIo, RejectsPartialPartition) {
+  Hypergraph hg = Figure2Graph();
+  TreePartition tp(hg, 2);
+  EXPECT_THROW(WritePartitionText(tp), Error);
+}
+
+TEST(PartitionIo, RejectsMalformedInput) {
+  Hypergraph hg = Figure2Graph();
+  EXPECT_THROW(ReadPartitionText(hg, ""), Error);
+  EXPECT_THROW(ReadPartitionText(hg, "wrong header\n"), Error);
+  const std::string good = WritePartitionText(Figure2OptimalPartition(hg));
+  // Truncation (drop the last line).
+  const std::string truncated = good.substr(0, good.rfind("assign"));
+  EXPECT_THROW(ReadPartitionText(hg, truncated), Error);
+  // Trailing garbage.
+  EXPECT_THROW(ReadPartitionText(hg, good + "extra\n"), Error);
+  // Leaf id out of range.
+  std::string bad = good;
+  bad.replace(bad.rfind(' ') + 1, 1, "99");
+  EXPECT_THROW(ReadPartitionText(hg, bad), Error);
+}
+
+TEST(PartitionIo, RejectsForeignNetlists) {
+  // A partition written for one hypergraph must not load against another,
+  // even when the node counts coincide (found by a verification probe).
+  Hypergraph hg = Figure2Graph();
+  const std::string text = WritePartitionText(Figure2OptimalPartition(hg));
+  Hypergraph other =
+      testutil::RandomConnectedHypergraph(16, 20, 3, 9);  // 16 nodes too
+  ASSERT_EQ(other.num_nodes(), hg.num_nodes());
+  EXPECT_THROW(ReadPartitionText(other, text), Error);
+  EXPECT_NO_THROW(ReadPartitionText(hg, text));
+}
+
+TEST(PartitionIo, AcceptsFingerprintlessFiles) {
+  // Backward compatibility: older files lack the `netlist` line.
+  Hypergraph hg = Figure2Graph();
+  std::string text = WritePartitionText(Figure2OptimalPartition(hg));
+  const std::size_t start = text.find("netlist");
+  const std::size_t end = text.find('\n', start);
+  text.erase(start, end - start + 1);
+  const TreePartition tp = ReadPartitionText(hg, text);
+  EXPECT_TRUE(tp.fully_assigned());
+}
+
+TEST(PartitionIo, ErrorsMentionLineNumbers) {
+  Hypergraph hg = Figure2Graph();
+  try {
+    ReadPartitionText(hg, "htp-partition v1\nroot_level banana\n");
+    FAIL() << "expected a parse error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(PartitionIo, FileRoundTrip) {
+  Hypergraph hg = Figure2Graph();
+  TreePartition tp = Figure2OptimalPartition(hg);
+  const std::string path = ::testing::TempDir() + "/htp_partition_io.txt";
+  WritePartitionFile(tp, path);
+  const TreePartition back = ReadPartitionFile(hg, path);
+  for (NodeId v = 0; v < hg.num_nodes(); ++v)
+    EXPECT_EQ(back.leaf_of(v), tp.leaf_of(v));
+  std::remove(path.c_str());
+  EXPECT_THROW(ReadPartitionFile(hg, "/nonexistent/p.txt"), Error);
+}
+
+}  // namespace
+}  // namespace htp

@@ -1,0 +1,77 @@
+#include "core/pin_report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/paper_examples.hpp"
+#include "partition/random_partition.hpp"
+#include "test_util.hpp"
+
+namespace htp {
+namespace {
+
+TEST(PinReport, Figure2BlockPins) {
+  Hypergraph hg = Figure2Graph();
+  const HierarchySpec spec = Figure2Spec();
+  TreePartition tp = Figure2OptimalPartition(hg);
+  const PartitionReport report = ReportPartition(tp, spec);
+
+  // Level 0: every cluster leaf has boundary 3 (two same-block peers + one
+  // cross edge); level 1: each of the two blocks touches the 2 cross edges.
+  ASSERT_EQ(report.levels.size(), 2u);
+  EXPECT_EQ(report.levels[0].blocks, 4u);
+  EXPECT_DOUBLE_EQ(report.levels[0].total_pins, 12.0);
+  EXPECT_DOUBLE_EQ(report.levels[0].max_pins, 3.0);
+  EXPECT_DOUBLE_EQ(report.levels[0].max_utilization, 1.0);
+  EXPECT_EQ(report.levels[1].blocks, 2u);
+  EXPECT_DOUBLE_EQ(report.levels[1].total_pins, 4.0);
+}
+
+TEST(PinReport, TiesOutWithEquationOne) {
+  // sum of level-l pins == sum_e c(e) * span(e, l) == cost_by_level / w_l.
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    Hypergraph hg = testutil::RandomConnectedHypergraph(40, 50, 4, seed);
+    std::vector<double> weights{1.0, 3.0, 0.5};
+    const HierarchySpec spec =
+        UniformHierarchy(hg.total_size(), 3, 2, 0.25, weights);
+    Rng rng(seed);
+    TreePartition tp = RandomPartition(hg, spec, rng);
+    const PartitionReport report = ReportPartition(tp, spec);
+    const std::vector<double> by_level = PartitionCostByLevel(tp, spec);
+    ASSERT_EQ(report.levels.size(), by_level.size());
+    for (Level l = 0; l < by_level.size(); ++l) {
+      EXPECT_NEAR(report.levels[l].total_pins * spec.weight(l), by_level[l],
+                  1e-9)
+          << "level " << l << " seed " << seed;
+    }
+  }
+}
+
+TEST(PinReport, UtilizationIsSizeOverCapacity) {
+  Hypergraph hg = Figure2Graph();
+  const HierarchySpec spec = Figure2Spec();
+  TreePartition tp = Figure2OptimalPartition(hg);
+  const PartitionReport report = ReportPartition(tp, spec);
+  for (const BlockReport& block : report.blocks) {
+    EXPECT_NEAR(block.utilization, block.size / block.capacity, 1e-12);
+    EXPECT_DOUBLE_EQ(block.size, tp.block_size(block.block));
+  }
+}
+
+TEST(PinReport, RequiresCompletePartition) {
+  Hypergraph hg = Figure2Graph();
+  TreePartition tp(hg, 2);
+  EXPECT_THROW(ReportPartition(tp, Figure2Spec()), Error);
+}
+
+TEST(PinReport, FormatMentionsEveryLevel) {
+  Hypergraph hg = Figure2Graph();
+  TreePartition tp = Figure2OptimalPartition(hg);
+  const std::string text =
+      FormatReport(ReportPartition(tp, Figure2Spec()));
+  EXPECT_NE(text.find("level 0"), std::string::npos);
+  EXPECT_NE(text.find("level 1"), std::string::npos);
+  EXPECT_NE(text.find("block#"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace htp

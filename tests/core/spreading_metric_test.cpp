@@ -1,0 +1,87 @@
+#include "core/spreading_metric.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/paper_examples.hpp"
+#include "partition/random_partition.hpp"
+#include "test_util.hpp"
+
+namespace htp {
+namespace {
+
+TEST(SpreadingMetric, Figure2MetricValues) {
+  // d(e) = cost(e)/c(e): 0 on intra-cluster edges, 2 on level-0 cuts, 6 on
+  // level-1 cuts — exactly the labels of Figure 2(b).
+  Hypergraph hg = Figure2Graph();
+  const HierarchySpec spec = Figure2Spec();
+  TreePartition tp = Figure2OptimalPartition(hg);
+  const SpreadingMetric metric = MetricFromPartition(tp, spec);
+  std::size_t zeros = 0, twos = 0, sixes = 0;
+  for (double d : metric) {
+    if (d == 0.0) ++zeros;
+    if (d == 2.0) ++twos;
+    if (d == 6.0) ++sixes;
+  }
+  EXPECT_EQ(zeros, 24u);
+  EXPECT_EQ(twos, 4u);
+  EXPECT_EQ(sixes, 2u);
+  EXPECT_DOUBLE_EQ(MetricCost(hg, metric), kFigure2OptimalCost);
+}
+
+TEST(SpreadingMetric, Figure2MetricIsFeasible) {
+  // Lemma 1 on the worked example.
+  Hypergraph hg = Figure2Graph();
+  const HierarchySpec spec = Figure2Spec();
+  TreePartition tp = Figure2OptimalPartition(hg);
+  const SpreadingMetric metric = MetricFromPartition(tp, spec);
+  EXPECT_FALSE(CheckSpreadingMetric(hg, spec, metric).has_value());
+}
+
+TEST(SpreadingMetric, ZeroMetricViolatedWhenGraphTooBig) {
+  Hypergraph hg = Figure2Graph();
+  const HierarchySpec spec = Figure2Spec();
+  const SpreadingMetric zero(hg.num_nets(), 0.0);
+  const auto violation = CheckSpreadingMetric(hg, spec, zero);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_LT(violation->lhs, violation->rhs);
+  EXPECT_GT(violation->tree_size, spec.capacity(0));
+  // The violating tree must carry at least one net to inject on.
+  EXPECT_FALSE(TreeNets(violation->tree).empty());
+}
+
+TEST(SpreadingMetric, ZeroMetricFeasibleWhenEverythingFits) {
+  HypergraphBuilder builder;
+  for (int i = 0; i < 4; ++i) builder.add_node();
+  builder.add_net({0u, 1u, 2u, 3u});
+  Hypergraph hg = builder.build();
+  HierarchySpec spec({{4.0, 2, 1.0}, {4.0, 2, 1.0}});
+  const SpreadingMetric zero(hg.num_nets(), 0.0);
+  EXPECT_FALSE(CheckSpreadingMetric(hg, spec, zero).has_value());
+}
+
+// Lemma 1 as a property: the metric induced by ANY valid partition of a
+// random circuit is feasible for constraint family (5).
+class Lemma1PropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Lemma1PropertyTest, PartitionMetricsAreFeasible) {
+  const std::uint64_t seed = GetParam();
+  Hypergraph hg = testutil::RandomConnectedHypergraph(
+      24 + seed % 20, 20 + seed % 20, 4, seed);
+  const HierarchySpec spec = FullBinaryHierarchy(hg.total_size(), 3, 0.25);
+  Rng rng(seed * 7 + 5);
+  const TreePartition tp = RandomPartition(hg, spec, rng);
+  RequireValidPartition(tp, spec);
+  const SpreadingMetric metric = MetricFromPartition(tp, spec);
+  const auto violation = CheckSpreadingMetric(hg, spec, metric);
+  EXPECT_FALSE(violation.has_value())
+      << "Lemma 1 violated from source " << violation->source << ": lhs "
+      << violation->lhs << " < g = " << violation->rhs;
+  // And its metric cost equals the partition cost (Lemma 1's equality).
+  EXPECT_NEAR(MetricCost(hg, metric), PartitionCost(tp, spec), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Lemma1PropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace htp

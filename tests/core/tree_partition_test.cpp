@@ -1,0 +1,133 @@
+#include "core/tree_partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/paper_examples.hpp"
+
+namespace htp {
+namespace {
+
+Hypergraph SmallGraph() {
+  HypergraphBuilder builder;
+  for (int i = 0; i < 8; ++i) builder.add_node();
+  builder.add_net({0u, 1u});
+  builder.add_net({2u, 3u});
+  builder.add_net({1u, 2u});
+  return builder.build();
+}
+
+TEST(TreePartition, StructureAndLevels) {
+  Hypergraph hg = SmallGraph();
+  TreePartition tp(hg, 2);
+  EXPECT_EQ(tp.root_level(), 2u);
+  const BlockId a = tp.AddChild(TreePartition::kRoot);
+  const BlockId b = tp.AddChild(TreePartition::kRoot);
+  const BlockId a0 = tp.AddChild(a);
+  const BlockId a1 = tp.AddChild(a);
+  const BlockId b0 = tp.AddChild(b);
+  EXPECT_EQ(tp.level(a), 1u);
+  EXPECT_EQ(tp.level(a0), 0u);
+  EXPECT_EQ(tp.parent(a1), a);
+  EXPECT_EQ(tp.children(TreePartition::kRoot).size(), 2u);
+  EXPECT_THROW(tp.AddChild(a0), Error);  // leaves cannot have children
+  EXPECT_EQ(tp.Leaves().size(), 3u);
+  EXPECT_EQ(tp.BlocksAtLevel(1).size(), 2u);
+  (void)b0;
+}
+
+TEST(TreePartition, AssignAndSizes) {
+  Hypergraph hg = SmallGraph();
+  TreePartition tp(hg, 1);
+  const BlockId l0 = tp.AddChild(TreePartition::kRoot);
+  const BlockId l1 = tp.AddChild(TreePartition::kRoot);
+  for (NodeId v = 0; v < 4; ++v) tp.AssignNode(v, l0);
+  for (NodeId v = 4; v < 8; ++v) tp.AssignNode(v, l1);
+  EXPECT_TRUE(tp.fully_assigned());
+  EXPECT_DOUBLE_EQ(tp.block_size(l0), 4.0);
+  EXPECT_DOUBLE_EQ(tp.block_size(TreePartition::kRoot), 8.0);
+  EXPECT_EQ(tp.leaf_of(2), l0);
+  EXPECT_EQ(tp.block_at(2, 1), TreePartition::kRoot);
+  EXPECT_THROW(tp.AssignNode(0, l1), Error);  // already assigned
+}
+
+TEST(TreePartition, AssignRequiresLeafLevel) {
+  Hypergraph hg = SmallGraph();
+  TreePartition tp(hg, 2);
+  const BlockId mid = tp.AddChild(TreePartition::kRoot);  // level 1
+  EXPECT_THROW(tp.AssignNode(0, mid), Error);
+}
+
+TEST(TreePartition, MoveNodeUpdatesSizesAlongPaths) {
+  Hypergraph hg = Figure2Graph();
+  TreePartition tp = Figure2OptimalPartition(hg);
+  const BlockId from = tp.leaf_of(0);
+  const BlockId to = tp.leaf_of(15);
+  const double from_size = tp.block_size(from);
+  const double to_size = tp.block_size(to);
+  tp.MoveNode(0, to);
+  EXPECT_DOUBLE_EQ(tp.block_size(from), from_size - 1.0);
+  EXPECT_DOUBLE_EQ(tp.block_size(to), to_size + 1.0);
+  EXPECT_DOUBLE_EQ(tp.block_size(TreePartition::kRoot), 16.0);
+  tp.MoveNode(0, from);  // restore
+  EXPECT_DOUBLE_EQ(tp.block_size(from), from_size);
+}
+
+TEST(TreePartition, LcaLevel) {
+  Hypergraph hg = Figure2Graph();
+  TreePartition tp = Figure2OptimalPartition(hg);
+  const BlockId leaf0 = tp.leaf_of(0);    // cluster A
+  const BlockId leaf1 = tp.leaf_of(4);    // cluster B (same level-1 block)
+  const BlockId leaf2 = tp.leaf_of(8);    // cluster C (other level-1 block)
+  EXPECT_EQ(tp.LcaLevel(leaf0, leaf0), 0u);
+  EXPECT_EQ(tp.LcaLevel(leaf0, leaf1), 1u);
+  EXPECT_EQ(tp.LcaLevel(leaf0, leaf2), 2u);
+}
+
+TEST(ValidatePartition, AcceptsFigure2Optimum) {
+  Hypergraph hg = Figure2Graph();
+  TreePartition tp = Figure2OptimalPartition(hg);
+  EXPECT_TRUE(ValidatePartition(tp, Figure2Spec()).empty());
+  EXPECT_NO_THROW(RequireValidPartition(tp, Figure2Spec()));
+}
+
+TEST(ValidatePartition, FlagsCapacityViolation) {
+  Hypergraph hg = Figure2Graph();
+  TreePartition tp = Figure2OptimalPartition(hg);
+  // Overstuff one leaf (C0 = 4) by moving a fifth node in.
+  tp.MoveNode(4, tp.leaf_of(0));
+  const auto issues = ValidatePartition(tp, Figure2Spec());
+  EXPECT_FALSE(issues.empty());
+  EXPECT_THROW(RequireValidPartition(tp, Figure2Spec()), Error);
+}
+
+TEST(ValidatePartition, FlagsIncompleteAssignment) {
+  Hypergraph hg = SmallGraph();
+  TreePartition tp(hg, 1);
+  const BlockId leaf = tp.AddChild(TreePartition::kRoot);
+  tp.AssignNode(0, leaf);
+  HierarchySpec spec({{8.0, 2, 1.0}, {8.0, 2, 1.0}});
+  const auto issues = ValidatePartition(tp, spec);
+  EXPECT_FALSE(issues.empty());
+}
+
+TEST(ValidatePartition, FlagsBranchOverflow) {
+  Hypergraph hg = SmallGraph();
+  TreePartition tp(hg, 1);
+  for (int i = 0; i < 3; ++i) (void)tp.AddChild(TreePartition::kRoot);
+  HierarchySpec spec({{8.0, 2, 1.0}, {8.0, 2, 1.0}});  // K = 2, 3 children
+  bool flagged = false;
+  for (const std::string& s : ValidatePartition(tp, spec))
+    flagged |= s.find("children") != std::string::npos;
+  EXPECT_TRUE(flagged);
+}
+
+TEST(TreePartition, ToStringShowsTree) {
+  Hypergraph hg = Figure2Graph();
+  TreePartition tp = Figure2OptimalPartition(hg);
+  const std::string s = tp.ToString();
+  EXPECT_NE(s.find("L2 block#0"), std::string::npos);
+  EXPECT_NE(s.find("nodes=4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace htp

@@ -1,0 +1,85 @@
+#include "graph/karger.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace htp {
+namespace {
+
+// Exhaustive global min cut over all 2^(n-1) splits (reference oracle).
+double BruteForceGlobalCut(const Hypergraph& hg) {
+  const NodeId n = hg.num_nodes();
+  double best = 1e18;
+  for (std::uint32_t mask = 1; mask < (1u << (n - 1)); ++mask) {
+    std::vector<char> side(n, 0);
+    std::uint32_t bits = mask;
+    for (NodeId v = 1; v < n; ++v, bits >>= 1) side[v] = bits & 1;
+    double value = 0.0;
+    for (NetId e = 0; e < hg.num_nets(); ++e) {
+      bool zero = false, one = false;
+      for (NodeId v : hg.pins(e)) (side[v] ? one : zero) = true;
+      if (zero && one) value += hg.net_capacity(e);
+    }
+    best = std::min(best, value);
+  }
+  return best;
+}
+
+TEST(Karger, FindsTheBridge) {
+  HypergraphBuilder builder;
+  for (int i = 0; i < 10; ++i) builder.add_node();
+  for (NodeId base : {0u, 5u})
+    for (NodeId i = 0; i < 5; ++i)
+      for (NodeId j = i + 1; j < 5; ++j) builder.add_net({base + i, base + j});
+  builder.add_net({4u, 5u}, 0.5, "bridge");
+  Hypergraph hg = builder.build();
+  const GlobalCut cut = KargerGlobalMinCut(hg, 64, 7);
+  EXPECT_DOUBLE_EQ(cut.value, 0.5);
+  ASSERT_EQ(cut.cut_nets.size(), 1u);
+  EXPECT_EQ(hg.net_name(cut.cut_nets[0]), "bridge");
+}
+
+TEST(Karger, DisconnectedGivesZeroCut) {
+  HypergraphBuilder builder;
+  for (int i = 0; i < 5; ++i) builder.add_node();
+  builder.add_net({0u, 1u});
+  builder.add_net({2u, 3u, 4u});
+  Hypergraph hg = builder.build();
+  const GlobalCut cut = KargerGlobalMinCut(hg, 4, 1);
+  EXPECT_DOUBLE_EQ(cut.value, 0.0);
+  EXPECT_TRUE(cut.cut_nets.empty());
+  EXPECT_NE(cut.side[0], cut.side[2]);
+}
+
+TEST(Karger, SideIsConsistentWithValue) {
+  Hypergraph hg = testutil::RandomConnectedHypergraph(20, 25, 4, 3);
+  const GlobalCut cut = KargerGlobalMinCut(hg, 32, 9);
+  double recomputed = 0.0;
+  for (NetId e = 0; e < hg.num_nets(); ++e) {
+    bool zero = false, one = false;
+    for (NodeId v : hg.pins(e)) (cut.side[v] ? one : zero) = true;
+    if (zero && one) recomputed += hg.net_capacity(e);
+  }
+  EXPECT_NEAR(cut.value, recomputed, 1e-9);
+  // Both sides populated.
+  EXPECT_NE(std::count(cut.side.begin(), cut.side.end(), 0), 0);
+  EXPECT_NE(std::count(cut.side.begin(), cut.side.end(), 1), 0);
+}
+
+class KargerPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(KargerPropertyTest, MatchesBruteForceOnSmallGraphs) {
+  const std::uint64_t seed = GetParam();
+  Hypergraph hg = testutil::RandomConnectedHypergraph(11, 9, 3, seed);
+  const double oracle = BruteForceGlobalCut(hg);
+  // n^2 log n trials gives high success probability at this size.
+  const GlobalCut cut = KargerGlobalMinCut(hg, 600, seed * 13 + 1);
+  EXPECT_NEAR(cut.value, oracle, 1e-9) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KargerPropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace htp

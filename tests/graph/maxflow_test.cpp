@@ -1,0 +1,134 @@
+#include "graph/maxflow.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace htp {
+namespace {
+
+TEST(FlowNetwork, ClassicDiamond) {
+  FlowNetwork net(4);
+  net.AddEdge(0, 1, 3.0);
+  net.AddEdge(0, 2, 2.0);
+  net.AddEdge(1, 2, 1.0);
+  net.AddEdge(1, 3, 2.0);
+  net.AddEdge(2, 3, 3.0);
+  EXPECT_DOUBLE_EQ(net.MaxFlow(0, 3), 5.0);
+}
+
+TEST(FlowNetwork, DisconnectedIsZero) {
+  FlowNetwork net(3);
+  net.AddEdge(0, 1, 4.0);
+  EXPECT_DOUBLE_EQ(net.MaxFlow(0, 2), 0.0);
+}
+
+TEST(FlowNetwork, FlowConservationAndEdgeFlows) {
+  FlowNetwork net(5);
+  const std::size_t a = net.AddEdge(0, 1, 10.0);
+  const std::size_t b = net.AddEdge(1, 2, 4.0);
+  const std::size_t c = net.AddEdge(1, 3, 5.0);
+  const std::size_t d = net.AddEdge(2, 4, 10.0);
+  const std::size_t e = net.AddEdge(3, 4, 10.0);
+  EXPECT_DOUBLE_EQ(net.MaxFlow(0, 4), 9.0);
+  EXPECT_DOUBLE_EQ(net.flow(a), 9.0);
+  EXPECT_DOUBLE_EQ(net.flow(b) + net.flow(c), 9.0);
+  EXPECT_DOUBLE_EQ(net.flow(d), net.flow(b));
+  EXPECT_DOUBLE_EQ(net.flow(e), net.flow(c));
+}
+
+TEST(FlowNetwork, SourceSideIsMinCut) {
+  FlowNetwork net(4);
+  net.AddEdge(0, 1, 1.0);
+  net.AddEdge(0, 2, 8.0);
+  net.AddEdge(1, 3, 8.0);
+  net.AddEdge(2, 3, 1.0);
+  EXPECT_DOUBLE_EQ(net.MaxFlow(0, 3), 2.0);
+  const std::vector<char> side = net.SourceSide(0);
+  EXPECT_TRUE(side[0]);
+  EXPECT_FALSE(side[3]);
+  // The cut {0,2} | {1,3} has value 1 + 1 = 2.
+  EXPECT_FALSE(side[1]);
+  EXPECT_TRUE(side[2]);
+}
+
+TEST(HypergraphMinCut, SeparatesSingleBridgeNet) {
+  HypergraphBuilder builder;
+  for (int i = 0; i < 6; ++i) builder.add_node();
+  builder.add_net({0u, 1u, 2u});
+  builder.add_net({2u, 3u}, 0.5, "bridge");  // strictly cheapest cut
+  builder.add_net({3u, 4u, 5u});
+  Hypergraph hg = builder.build();
+  const std::vector<NodeId> src{0};
+  const std::vector<NodeId> snk{5};
+  const HyperMinCut cut = HypergraphMinCut(hg, src, snk);
+  EXPECT_DOUBLE_EQ(cut.cut_value, 0.5);
+  ASSERT_EQ(cut.cut_nets.size(), 1u);
+  EXPECT_EQ(hg.net_name(cut.cut_nets[0]), "bridge");
+}
+
+TEST(HypergraphMinCut, HyperedgeCountedOnce) {
+  // A 4-pin net separating s from t costs c(e) once, not per crossing pair.
+  HypergraphBuilder builder;
+  for (int i = 0; i < 4; ++i) builder.add_node();
+  builder.add_net({0u, 1u, 2u, 3u}, 2.5);
+  Hypergraph hg = builder.build();
+  const std::vector<NodeId> src{0};
+  const std::vector<NodeId> snk{3};
+  const HyperMinCut cut = HypergraphMinCut(hg, src, snk);
+  EXPECT_DOUBLE_EQ(cut.cut_value, 2.5);
+}
+
+TEST(HypergraphMinCut, RejectsOverlappingTerminals) {
+  Hypergraph hg = testutil::RandomConnectedHypergraph(6, 3, 3, 1);
+  const std::vector<NodeId> src{0, 1};
+  const std::vector<NodeId> snk{1, 2};
+  EXPECT_THROW(HypergraphMinCut(hg, src, snk), Error);
+}
+
+class MinCutPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MinCutPropertyTest, CutValueMatchesCutNets) {
+  const std::uint64_t seed = GetParam();
+  Hypergraph hg = testutil::RandomConnectedHypergraph(16, 18, 4, seed);
+  const std::vector<NodeId> src{0};
+  const std::vector<NodeId> snk{static_cast<NodeId>(hg.num_nodes() - 1)};
+  const HyperMinCut cut = HypergraphMinCut(hg, src, snk);
+  double value = 0.0;
+  for (NetId e : cut.cut_nets) value += hg.net_capacity(e);
+  EXPECT_NEAR(cut.cut_value, value, 1e-6);
+  EXPECT_TRUE(cut.source_side[0]);
+  EXPECT_FALSE(cut.source_side[hg.num_nodes() - 1]);
+}
+
+TEST_P(MinCutPropertyTest, NoCheaperCutByExhaustion) {
+  // Exhaustively check all 2^(n-2) s-t splits on tiny instances.
+  const std::uint64_t seed = GetParam();
+  Hypergraph hg = testutil::RandomConnectedHypergraph(10, 10, 3, seed ^ 0x99);
+  const NodeId s = 0, t = hg.num_nodes() - 1;
+  const std::vector<NodeId> src{s};
+  const std::vector<NodeId> snk{t};
+  const HyperMinCut cut = HypergraphMinCut(hg, src, snk);
+  double best = 1e18;
+  const NodeId n = hg.num_nodes();
+  for (std::uint32_t mask = 0; mask < (1u << (n - 2)); ++mask) {
+    std::vector<char> side(n, 0);
+    side[s] = 1;
+    std::uint32_t bits = mask;
+    for (NodeId v = 1; v < n - 1; ++v, bits >>= 1) side[v] = bits & 1;
+    double value = 0.0;
+    for (NetId e = 0; e < hg.num_nets(); ++e) {
+      bool in = false, out = false;
+      for (NodeId v : hg.pins(e)) (side[v] ? in : out) = true;
+      if (in && out) value += hg.net_capacity(e);
+    }
+    best = std::min(best, value);
+  }
+  EXPECT_NEAR(cut.cut_value, best, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MinCutPropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace htp

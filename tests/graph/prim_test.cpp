@@ -1,0 +1,86 @@
+#include "graph/prim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/union_find.hpp"
+#include "test_util.hpp"
+
+namespace htp {
+namespace {
+
+// Kruskal over the clique expansion (each net offers weight d(e) between any
+// pins) — reference MST weight for 2-pin graphs and hypergraphs alike.
+double KruskalWeight(const Hypergraph& hg, std::span<const double> len) {
+  std::vector<NetId> order(hg.num_nets());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](NetId a, NetId b) { return len[a] < len[b]; });
+  UnionFind uf(hg.num_nodes());
+  double weight = 0.0;
+  for (NetId e : order) {
+    const auto pins = hg.pins(e);
+    for (std::size_t i = 1; i < pins.size(); ++i)
+      if (uf.Union(pins[0], pins[i])) weight += len[e];
+  }
+  return weight;
+}
+
+TEST(Prim, SimpleTriangle) {
+  HypergraphBuilder builder;
+  for (int i = 0; i < 3; ++i) builder.add_node();
+  builder.add_net({0u, 1u});  // len 1
+  builder.add_net({1u, 2u});  // len 2
+  builder.add_net({0u, 2u});  // len 5
+  Hypergraph hg = builder.build();
+  const std::vector<double> len{1.0, 2.0, 5.0};
+  const PrimTree tree = GrowPrimTree(hg, 0, len);
+  EXPECT_EQ(tree.order.size(), 3u);
+  EXPECT_DOUBLE_EQ(tree.total_weight, 3.0);
+}
+
+TEST(Prim, CoversOnlyStartComponent) {
+  HypergraphBuilder builder;
+  for (int i = 0; i < 5; ++i) builder.add_node();
+  builder.add_net({0u, 1u});
+  builder.add_net({2u, 3u, 4u});
+  Hypergraph hg = builder.build();
+  const std::vector<double> len{1.0, 1.0};
+  const PrimTree tree = GrowPrimTree(hg, 2, len);
+  EXPECT_EQ(tree.order.size(), 3u);
+  EXPECT_EQ(tree.attach_net[0], kInvalidNet);
+  EXPECT_EQ(tree.attach_net[1], kInvalidNet);
+}
+
+class PrimPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PrimPropertyTest, MatchesKruskalOnGraphs) {
+  const std::uint64_t seed = GetParam();
+  // 2-pin nets only (max_degree = 2) so MST weight is classical.
+  Hypergraph hg = testutil::RandomConnectedHypergraph(30, 40, 2, seed);
+  Rng rng(seed * 31);
+  std::vector<double> len(hg.num_nets());
+  for (double& d : len) d = rng.next_double() * 9.0 + 0.1;
+  const PrimTree tree = GrowPrimTree(hg, 0, len);
+  EXPECT_EQ(tree.order.size(), hg.num_nodes());
+  EXPECT_NEAR(tree.total_weight, KruskalWeight(hg, len), 1e-9);
+}
+
+TEST_P(PrimPropertyTest, MatchesKruskalOnHypergraphs) {
+  const std::uint64_t seed = GetParam();
+  Hypergraph hg = testutil::RandomConnectedHypergraph(25, 25, 5, seed ^ 0xf0);
+  Rng rng(seed * 13 + 7);
+  std::vector<double> len(hg.num_nets());
+  for (double& d : len) d = rng.next_double() * 4.0 + 0.05;
+  const PrimTree tree = GrowPrimTree(hg, 3, len);
+  EXPECT_EQ(tree.order.size(), hg.num_nodes());
+  EXPECT_NEAR(tree.total_weight, KruskalWeight(hg, len), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PrimPropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace htp

@@ -1,0 +1,46 @@
+#include "graph/union_find.hpp"
+
+#include <gtest/gtest.h>
+
+namespace htp {
+namespace {
+
+TEST(UnionFind, BasicMerging) {
+  UnionFind uf(6);
+  EXPECT_EQ(uf.NumSets(), 6u);
+  EXPECT_TRUE(uf.Union(0, 1));
+  EXPECT_TRUE(uf.Union(2, 3));
+  EXPECT_FALSE(uf.Union(1, 0));  // already joined
+  EXPECT_TRUE(uf.Union(0, 2));
+  EXPECT_EQ(uf.NumSets(), 3u);
+  EXPECT_TRUE(uf.Connected(1, 3));
+  EXPECT_FALSE(uf.Connected(1, 4));
+  EXPECT_EQ(uf.SetSize(3), 4u);
+  EXPECT_EQ(uf.SetSize(5), 1u);
+}
+
+TEST(UnionFind, FindIsIdempotentAndCanonical) {
+  UnionFind uf(8);
+  uf.Union(0, 7);
+  uf.Union(7, 3);
+  const std::size_t rep = uf.Find(3);
+  EXPECT_EQ(uf.Find(0), rep);
+  EXPECT_EQ(uf.Find(7), rep);
+  EXPECT_EQ(uf.Find(rep), rep);
+}
+
+TEST(UnionFind, BoundsChecked) {
+  UnionFind uf(3);
+  EXPECT_THROW(uf.Find(3), Error);
+}
+
+TEST(UnionFind, ChainMergeKeepsCounts) {
+  constexpr std::size_t kN = 1000;
+  UnionFind uf(kN);
+  for (std::size_t i = 1; i < kN; ++i) EXPECT_TRUE(uf.Union(i - 1, i));
+  EXPECT_EQ(uf.NumSets(), 1u);
+  EXPECT_EQ(uf.SetSize(0), kN);
+}
+
+}  // namespace
+}  // namespace htp

@@ -1,0 +1,137 @@
+// Integration tests: the complete FLOW / GFM / RFM / "+" pipelines on
+// realistic (generated) circuits under the paper's experimental hierarchy.
+#include <gtest/gtest.h>
+
+#include "core/htp_flow.hpp"
+#include "lp/spreading_lp.hpp"
+#include "netlist/bench_parser.hpp"
+#include "netlist/generators.hpp"
+#include "partition/gfm.hpp"
+#include "partition/htp_fm.hpp"
+#include "partition/random_partition.hpp"
+#include "partition/rfm.hpp"
+#include "test_util.hpp"
+
+namespace htp {
+namespace {
+
+// A small Rent-style circuit shared by the pipeline tests.
+Hypergraph SmallCircuit(std::uint64_t seed = 11) {
+  RentCircuitParams params;
+  params.num_gates = 256;
+  params.num_primary_inputs = 24;
+  params.seed = seed;
+  return RentCircuit(params);
+}
+
+TEST(EndToEnd, FlowPipelineOnRentCircuit) {
+  Hypergraph hg = SmallCircuit();
+  const HierarchySpec spec = FullBinaryHierarchy(hg.total_size());
+  HtpFlowParams params;
+  params.iterations = 2;
+  params.seed = 1;
+  const HtpFlowResult flow = RunHtpFlow(hg, spec, params);
+  RequireValidPartition(flow.partition, spec);
+  EXPECT_GT(flow.cost, 0.0);
+  for (const auto& it : flow.iterations) EXPECT_TRUE(it.metric_converged);
+}
+
+TEST(EndToEnd, AllThreeConstructorsBeatRandom) {
+  Hypergraph hg = SmallCircuit(23);
+  const HierarchySpec spec = FullBinaryHierarchy(hg.total_size());
+  Rng rng(99);
+  const double random_cost =
+      PartitionCost(RandomPartition(hg, spec, rng), spec);
+  HtpFlowParams fparams;
+  fparams.iterations = 2;
+  const double flow_cost = RunHtpFlow(hg, spec, fparams).cost;
+  const double rfm_cost = PartitionCost(RunRfm(hg, spec), spec);
+  const double gfm_cost = PartitionCost(RunGfm(hg, spec), spec);
+  EXPECT_LT(flow_cost, random_cost);
+  EXPECT_LT(rfm_cost, random_cost);
+  EXPECT_LT(gfm_cost, random_cost);
+}
+
+TEST(EndToEnd, PlusVariantsImproveOrMatchTheirBases) {
+  Hypergraph hg = SmallCircuit(31);
+  const HierarchySpec spec = FullBinaryHierarchy(hg.total_size());
+
+  HtpFlowParams fparams;
+  fparams.iterations = 1;
+  HtpFlowResult flow = RunHtpFlow(hg, spec, fparams);
+  TreePartition rfm = RunRfm(hg, spec);
+  TreePartition gfm = RunGfm(hg, spec);
+
+  struct Case {
+    TreePartition* tp;
+    const char* name;
+  } cases[] = {{&flow.partition, "FLOW"}, {&rfm, "RFM"}, {&gfm, "GFM"}};
+  for (auto& c : cases) {
+    const double before = PartitionCost(*c.tp, spec);
+    const HtpFmStats stats = RefineHtpFm(*c.tp, spec);
+    RequireValidPartition(*c.tp, spec);
+    EXPECT_LE(stats.final_cost, before + 1e-9) << c.name;
+    EXPECT_NEAR(stats.final_cost, PartitionCost(*c.tp, spec), 1e-6) << c.name;
+  }
+}
+
+TEST(EndToEnd, FlowMetricCostLowerBoundsItsPartitions) {
+  // Lemma 2 intuition at heuristic scale: the (feasible) spreading metric's
+  // objective never exceeds the cost of the partitions built from it.
+  Hypergraph hg = SmallCircuit(47);
+  const HierarchySpec spec = FullBinaryHierarchy(hg.total_size());
+  HtpFlowParams params;
+  params.iterations = 2;
+  const HtpFlowResult flow = RunHtpFlow(hg, spec, params);
+  for (const auto& it : flow.iterations)
+    EXPECT_LE(0.0, it.best_partition_cost);
+  EXPECT_LE(flow.cost, PartitionCost(flow.partition, spec) + 1e-9);
+}
+
+TEST(EndToEnd, C17ThroughTheFullPipeline) {
+  const BenchCircuit c17 = ParseBench(C17BenchText());
+  HierarchySpec spec({{2.2, 2, 1.0}, {4.4, 2, 1.0}, {6.0, 2, 1.0}});
+  HtpFlowParams params;
+  params.iterations = 4;
+  const HtpFlowResult flow = RunHtpFlow(c17.hg, spec, params);
+  RequireValidPartition(flow.partition, spec);
+  // And the exact LP lower bound is compatible.
+  const SpreadingLpResult lp = SolveSpreadingLp(c17.hg, spec);
+  ASSERT_EQ(lp.status, LpStatus::kOptimal);
+  EXPECT_TRUE(lp.converged);
+  EXPECT_LE(lp.lower_bound, flow.cost + 1e-6);
+}
+
+TEST(EndToEnd, MultiplierCircuitPartitions) {
+  Hypergraph hg = ArrayMultiplier(6);  // ~300 gates, grid structure
+  const HierarchySpec spec = FullBinaryHierarchy(hg.total_size(), 3, 0.15);
+  HtpFlowParams params;
+  params.iterations = 1;
+  const HtpFlowResult flow = RunHtpFlow(hg, spec, params);
+  RequireValidPartition(flow.partition, spec);
+  TreePartition rfm = RunRfm(hg, spec);
+  RequireValidPartition(rfm, spec);
+}
+
+TEST(EndToEnd, WeightedLevelsShiftTheTradeoff) {
+  // With a huge w1, cutting at level 1 must be avoided: FLOW+ should find
+  // partitions whose level-1 cost share is small.
+  Hypergraph hg = SmallCircuit(53);
+  std::vector<double> weights{1.0, 1.0, 50.0};
+  const HierarchySpec spec =
+      UniformHierarchy(hg.total_size(), 3, 2, 0.15, weights);
+  HtpFlowParams params;
+  params.iterations = 2;
+  HtpFlowResult flow = RunHtpFlow(hg, spec, params);
+  RefineHtpFm(flow.partition, spec);
+  const std::vector<double> by_level =
+      PartitionCostByLevel(flow.partition, spec);
+  // Weighted level-2 cost should not dominate despite the 50x weight,
+  // i.e. the optimizer actually responded to the weights: the raw number
+  // of level-2 cut nets must be far below the level-0 one.
+  const std::vector<std::size_t> cuts = CutNetsByLevel(flow.partition);
+  EXPECT_LT(cuts[2], cuts[0]);
+}
+
+}  // namespace
+}  // namespace htp

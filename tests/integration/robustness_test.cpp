@@ -1,0 +1,96 @@
+// Failure-injection and fuzz-ish robustness: malformed external inputs
+// must raise htp::Error (never crash or silently accept), and internal
+// invariants must catch corrupted states.
+#include <gtest/gtest.h>
+
+#include "core/partition_io.hpp"
+#include "core/paper_examples.hpp"
+#include "netlist/bench_parser.hpp"
+#include "netlist/hmetis_io.hpp"
+#include "netlist/rng.hpp"
+
+namespace htp {
+namespace {
+
+// Random byte-level mutations of a valid document: parsing must either
+// succeed or throw htp::Error — nothing else.
+template <typename ParseFn>
+void FuzzMutations(const std::string& valid, ParseFn&& parse,
+                   std::uint64_t seed, int mutations) {
+  Rng rng(seed);
+  for (int i = 0; i < mutations; ++i) {
+    std::string doc = valid;
+    const std::size_t edits = 1 + rng.next_below(4);
+    for (std::size_t k = 0; k < edits && !doc.empty(); ++k) {
+      const std::size_t pos = rng.next_below(doc.size());
+      switch (rng.next_below(3)) {
+        case 0:
+          doc[pos] = static_cast<char>('0' + rng.next_below(10));
+          break;
+        case 1:
+          doc.erase(pos, 1 + rng.next_below(8));
+          break;
+        default:
+          doc.insert(pos, "9");
+          break;
+      }
+    }
+    try {
+      parse(doc);
+    } catch (const Error&) {
+      // expected for most mutations
+    }
+    // Any other exception type or a crash fails the test by itself.
+  }
+}
+
+TEST(Robustness, BenchParserSurvivesMutations) {
+  const std::string valid(C17BenchText());
+  FuzzMutations(valid, [](const std::string& doc) { ParseBench(doc); }, 11,
+                400);
+}
+
+TEST(Robustness, HmetisParserSurvivesMutations) {
+  const std::string valid = WriteHmetis(Figure2Graph());
+  FuzzMutations(valid, [](const std::string& doc) { ParseHmetis(doc); }, 12,
+                400);
+}
+
+TEST(Robustness, PartitionParserSurvivesMutations) {
+  Hypergraph hg = Figure2Graph();
+  const std::string valid =
+      WritePartitionText(Figure2OptimalPartition(hg));
+  FuzzMutations(valid,
+                [&hg](const std::string& doc) {
+                  const TreePartition tp = ReadPartitionText(hg, doc);
+                  // If it parses, it must be structurally sound.
+                  EXPECT_TRUE(tp.fully_assigned());
+                },
+                13, 400);
+}
+
+TEST(Robustness, ValidatorCatchesForeignAssignments) {
+  // A partition whose parsed leaf ids point at non-leaf blocks must be
+  // rejected at assignment time.
+  Hypergraph hg = Figure2Graph();
+  TreePartition tp = Figure2OptimalPartition(hg);
+  std::string text = WritePartitionText(tp);
+  // Redirect one assignment to block 1 (a level-1 block, not a leaf).
+  const std::size_t pos = text.find("assign 0 ");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, std::string("assign 0 3").size(), "assign 0 1");
+  EXPECT_THROW(ReadPartitionText(hg, text), Error);
+}
+
+TEST(Robustness, ValidatorCatchesDoubleAssignment) {
+  Hypergraph hg = Figure2Graph();
+  TreePartition tp = Figure2OptimalPartition(hg);
+  std::string text = WritePartitionText(tp);
+  const std::size_t pos = text.find("assign 1 ");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, std::string("assign 1").size(), "assign 0");
+  EXPECT_THROW(ReadPartitionText(hg, text), Error);
+}
+
+}  // namespace
+}  // namespace htp

@@ -1,0 +1,176 @@
+#include "lp/simplex.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/rng.hpp"
+
+namespace htp {
+namespace {
+
+LpRow Row(std::vector<double> coeffs, Relation rel, double rhs) {
+  return LpRow{std::move(coeffs), rel, rhs};
+}
+
+TEST(Simplex, SolvesTextbookMaximizationAsMin) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  => opt 36 at (2, 6).
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.objective = {-3.0, -5.0};  // minimize the negation
+  lp.rows.push_back(Row({1, 0}, Relation::kLessEqual, 4));
+  lp.rows.push_back(Row({0, 2}, Relation::kLessEqual, 12));
+  lp.rows.push_back(Row({3, 2}, Relation::kLessEqual, 18));
+  const LpSolution sol = SolveLp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, -36.0, 1e-7);
+  EXPECT_NEAR(sol.x[0], 2.0, 1e-7);
+  EXPECT_NEAR(sol.x[1], 6.0, 1e-7);
+}
+
+TEST(Simplex, GreaterEqualConstraints) {
+  // min 2x + 3y s.t. x + y >= 4, x >= 1  => opt at (4, 0) = 8.
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.objective = {2.0, 3.0};
+  lp.rows.push_back(Row({1, 1}, Relation::kGreaterEqual, 4));
+  lp.rows.push_back(Row({1, 0}, Relation::kGreaterEqual, 1));
+  const LpSolution sol = SolveLp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 8.0, 1e-7);
+}
+
+TEST(Simplex, EqualityConstraints) {
+  // min x + y s.t. x + 2y == 6, x - y == 0  => x = y = 2, obj 4.
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.objective = {1.0, 1.0};
+  lp.rows.push_back(Row({1, 2}, Relation::kEqual, 6));
+  lp.rows.push_back(Row({1, -1}, Relation::kEqual, 0));
+  const LpSolution sol = SolveLp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.x[0], 2.0, 1e-7);
+  EXPECT_NEAR(sol.x[1], 2.0, 1e-7);
+}
+
+TEST(Simplex, DetectsInfeasibility) {
+  LpProblem lp;
+  lp.num_vars = 1;
+  lp.objective = {1.0};
+  lp.rows.push_back(Row({1}, Relation::kLessEqual, 1));
+  lp.rows.push_back(Row({1}, Relation::kGreaterEqual, 2));
+  EXPECT_EQ(SolveLp(lp).status, LpStatus::kInfeasible);
+}
+
+TEST(Simplex, DetectsUnboundedness) {
+  // min -x s.t. x >= 1 (x can grow forever).
+  LpProblem lp;
+  lp.num_vars = 1;
+  lp.objective = {-1.0};
+  lp.rows.push_back(Row({1}, Relation::kGreaterEqual, 1));
+  EXPECT_EQ(SolveLp(lp).status, LpStatus::kUnbounded);
+}
+
+TEST(Simplex, NegativeRhsNormalized) {
+  // min x + y s.t. -x - y <= -3  (i.e. x + y >= 3).
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.objective = {1.0, 1.0};
+  lp.rows.push_back(Row({-1, -1}, Relation::kLessEqual, -3));
+  const LpSolution sol = SolveLp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 3.0, 1e-7);
+}
+
+TEST(Simplex, DegenerateProblemTerminates) {
+  // Multiple redundant constraints through the same vertex (classic
+  // degeneracy); Bland's rule must not cycle.
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.objective = {-1.0, -1.0};
+  lp.rows.push_back(Row({1, 0}, Relation::kLessEqual, 1));
+  lp.rows.push_back(Row({0, 1}, Relation::kLessEqual, 1));
+  lp.rows.push_back(Row({1, 1}, Relation::kLessEqual, 2));
+  lp.rows.push_back(Row({2, 2}, Relation::kLessEqual, 4));
+  const LpSolution sol = SolveLp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, -2.0, 1e-7);
+}
+
+TEST(Simplex, RedundantEqualityRows) {
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.objective = {1.0, 2.0};
+  lp.rows.push_back(Row({1, 1}, Relation::kEqual, 2));
+  lp.rows.push_back(Row({2, 2}, Relation::kEqual, 4));  // same hyperplane
+  const LpSolution sol = SolveLp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 2.0, 1e-7);  // all weight on x
+}
+
+TEST(Simplex, ZeroRowsMeansTriviallyOptimal) {
+  LpProblem lp;
+  lp.num_vars = 3;
+  lp.objective = {1.0, 1.0, 1.0};
+  const LpSolution sol = SolveLp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 0.0, 1e-12);
+}
+
+// Property sweep: on random feasible covering LPs, the simplex solution is
+// feasible and no cheaper than any sampled feasible point (weak duality
+// stand-in by random probing).
+class SimplexPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimplexPropertyTest, FeasibleAndNotBeatenByRandomPoints) {
+  Rng rng(GetParam());
+  const std::size_t n = 3 + rng.next_below(4);
+  const std::size_t m = 2 + rng.next_below(5);
+  LpProblem lp;
+  lp.num_vars = n;
+  lp.objective.resize(n);
+  for (double& c : lp.objective) c = 0.5 + rng.next_double();
+  for (std::size_t i = 0; i < m; ++i) {
+    LpRow row;
+    row.coeffs.resize(n);
+    for (double& a : row.coeffs)
+      a = rng.next_bool(0.5) ? 0.5 + rng.next_double() : 0.0;
+    if (std::all_of(row.coeffs.begin(), row.coeffs.end(),
+                    [](double a) { return a == 0.0; }))
+      row.coeffs[0] = 1.0;
+    row.rel = Relation::kGreaterEqual;
+    row.rhs = 1.0 + rng.next_double() * 4.0;
+    lp.rows.push_back(std::move(row));
+  }
+  const LpSolution sol = SolveLp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);  // covering LPs are feasible
+  // Feasibility of the reported point.
+  for (const LpRow& row : lp.rows) {
+    double lhs = 0.0;
+    for (std::size_t j = 0; j < n; ++j) lhs += row.coeffs[j] * sol.x[j];
+    EXPECT_GE(lhs, row.rhs - 1e-6);
+  }
+  for (double xj : sol.x) EXPECT_GE(xj, -1e-9);
+  // Random feasible probes cannot beat the optimum.
+  for (int probe = 0; probe < 200; ++probe) {
+    std::vector<double> x(n);
+    for (double& v : x) v = rng.next_double() * 12.0;
+    bool feasible = true;
+    for (const LpRow& row : lp.rows) {
+      double lhs = 0.0;
+      for (std::size_t j = 0; j < n; ++j) lhs += row.coeffs[j] * x[j];
+      if (lhs < row.rhs) {
+        feasible = false;
+        break;
+      }
+    }
+    if (!feasible) continue;
+    double obj = 0.0;
+    for (std::size_t j = 0; j < n; ++j) obj += lp.objective[j] * x[j];
+    EXPECT_GE(obj, sol.objective - 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexPropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 16));
+
+}  // namespace
+}  // namespace htp

@@ -1,0 +1,93 @@
+#include "netlist/bench_parser.hpp"
+
+#include <gtest/gtest.h>
+
+namespace htp {
+namespace {
+
+TEST(BenchParser, ParsesC17) {
+  const BenchCircuit c17 = ParseBench(C17BenchText());
+  EXPECT_EQ(c17.num_gates, 6u);
+  EXPECT_EQ(c17.num_primary_inputs, 5u);
+  EXPECT_EQ(c17.num_primary_outputs, 2u);
+  EXPECT_EQ(c17.hg.num_nodes(), 6u);
+  // Nets with >= 2 connected gates: signal 3 (feeds gates 10,11), signal 11
+  // (feeds 16,19 + driver), signals 10, 16, 19 (driver + one sink = 2 pins
+  // each except 16 which feeds 22 and 23).
+  // Just check structural sanity: every net degree in [2, 3].
+  for (NetId e = 0; e < c17.hg.num_nets(); ++e) {
+    EXPECT_GE(c17.hg.net_degree(e), 2u);
+    EXPECT_LE(c17.hg.net_degree(e), 3u);
+  }
+  EXPECT_EQ(c17.hg.num_nets(), 5u);  // 3, 10, 11, 16, 19
+}
+
+TEST(BenchParser, PadsOption) {
+  const BenchCircuit with_pads =
+      ParseBench(C17BenchText(), BenchParseOptions{.include_pads = true});
+  // 6 gates + 5 input pads.
+  EXPECT_EQ(with_pads.hg.num_nodes(), 11u);
+  // Every PI signal now has a pad pin, so PI signals with one sink also
+  // become 2-pin nets: signals 1,2,3,6,7 + internal 10,11,16,19.
+  EXPECT_EQ(with_pads.hg.num_nets(), 9u);
+}
+
+TEST(BenchParser, HandlesCommentsAndWhitespace) {
+  const BenchCircuit c = ParseBench(R"(
+# full-line comment
+  INPUT( x )   # trailing comment
+INPUT(y)
+OUTPUT(z)
+
+z = AND( x , y )
+)");
+  EXPECT_EQ(c.num_gates, 1u);
+  EXPECT_EQ(c.num_primary_inputs, 2u);
+}
+
+TEST(BenchParser, ErrorsCarryLineNumbers) {
+  try {
+    ParseBench("INPUT(a)\nb = AND(a\n");
+    FAIL() << "expected parse error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(BenchParser, RejectsUndefinedSignals) {
+  EXPECT_THROW(ParseBench("INPUT(a)\nOUTPUT(b)\nb = AND(a, ghost)\n"), Error);
+}
+
+TEST(BenchParser, RejectsDuplicateDefinitions) {
+  EXPECT_THROW(ParseBench("INPUT(a)\nINPUT(a)\n"), Error);
+  EXPECT_THROW(
+      ParseBench("INPUT(a)\nINPUT(b)\nc = AND(a,b)\nc = OR(a,b)\n"), Error);
+}
+
+TEST(BenchParser, RejectsUndefinedOutputs) {
+  EXPECT_THROW(ParseBench("INPUT(a)\nOUTPUT(nope)\n"), Error);
+}
+
+TEST(BenchParser, RejectsMalformedLines) {
+  EXPECT_THROW(ParseBench("WIBBLE(a)\n"), Error);
+  EXPECT_THROW(ParseBench("a = \n"), Error);
+  EXPECT_THROW(ParseBench("a = AND()\n"), Error);
+  EXPECT_THROW(ParseBench("= AND(a,b)\n"), Error);
+}
+
+TEST(BenchParser, MissingFileThrows) {
+  EXPECT_THROW(ParseBenchFile("/nonexistent/file.bench"), Error);
+}
+
+TEST(BenchParser, SequentialCellsAccepted) {
+  const BenchCircuit c = ParseBench(R"(
+INPUT(clk_in)
+OUTPUT(q)
+d = NOT(clk_in)
+q = DFF(d)
+)");
+  EXPECT_EQ(c.num_gates, 2u);
+}
+
+}  // namespace
+}  // namespace htp

@@ -1,0 +1,154 @@
+#include "netlist/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/subhypergraph.hpp"
+
+namespace htp {
+namespace {
+
+TEST(RentCircuit, MatchesRequestedGateCount) {
+  RentCircuitParams params;
+  params.num_gates = 500;
+  params.num_primary_inputs = 40;
+  params.seed = 3;
+  Hypergraph hg = RentCircuit(params);
+  EXPECT_EQ(hg.num_nodes(), 500u);
+  EXPECT_GT(hg.num_nets(), 300u);  // most signals fan out
+  EXPECT_GT(hg.num_pins(), hg.num_nets());
+  EXPECT_TRUE(hg.unit_sizes());
+}
+
+TEST(RentCircuit, DeterministicForSeed) {
+  RentCircuitParams params;
+  params.num_gates = 200;
+  params.num_primary_inputs = 20;
+  params.seed = 42;
+  Hypergraph a = RentCircuit(params);
+  Hypergraph b = RentCircuit(params);
+  ASSERT_EQ(a.num_nets(), b.num_nets());
+  ASSERT_EQ(a.num_pins(), b.num_pins());
+  for (NetId e = 0; e < a.num_nets(); ++e) {
+    const auto pa = a.pins(e);
+    const auto pb = b.pins(e);
+    ASSERT_EQ(pa.size(), pb.size());
+    for (std::size_t i = 0; i < pa.size(); ++i) EXPECT_EQ(pa[i], pb[i]);
+  }
+}
+
+TEST(RentCircuit, DifferentSeedsDiffer) {
+  RentCircuitParams params;
+  params.num_gates = 200;
+  params.num_primary_inputs = 20;
+  params.seed = 1;
+  Hypergraph a = RentCircuit(params);
+  params.seed = 2;
+  Hypergraph b = RentCircuit(params);
+  // Same node count, but the wiring should differ.
+  bool differs = a.num_nets() != b.num_nets() || a.num_pins() != b.num_pins();
+  if (!differs) {
+    for (NetId e = 0; e < a.num_nets() && !differs; ++e) {
+      const auto pa = a.pins(e);
+      const auto pb = b.pins(e);
+      differs = pa.size() != pb.size() ||
+                !std::equal(pa.begin(), pa.end(), pb.begin());
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(RentCircuit, LocalityRespondsToEscapeProbability) {
+  // With lower escape probability, more nets should stay within small index
+  // windows (regions are contiguous index ranges).
+  auto avg_net_index_spread = [](const Hypergraph& hg) {
+    double total = 0.0;
+    for (NetId e = 0; e < hg.num_nets(); ++e) {
+      NodeId lo = hg.num_nodes(), hi = 0;
+      for (NodeId v : hg.pins(e)) {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+      total += hi - lo;
+    }
+    return total / static_cast<double>(hg.num_nets());
+  };
+  RentCircuitParams local;
+  local.num_gates = 800;
+  local.num_primary_inputs = 50;
+  local.escape_probability = 0.05;
+  local.seed = 9;
+  RentCircuitParams global = local;
+  global.escape_probability = 0.9;
+  EXPECT_LT(avg_net_index_spread(RentCircuit(local)),
+            0.5 * avg_net_index_spread(RentCircuit(global)));
+}
+
+TEST(RentCircuit, ValidatesParameters) {
+  RentCircuitParams params;
+  params.num_gates = 1;
+  EXPECT_THROW(RentCircuit(params), Error);
+  params.num_gates = 10;
+  params.num_primary_inputs = 0;
+  EXPECT_THROW(RentCircuit(params), Error);
+}
+
+TEST(ArrayMultiplier, HasC6288LikeScale) {
+  Hypergraph hg = ArrayMultiplier(16);
+  // c6288 has 2416 gates; the NOR-cell reconstruction lands in the same
+  // range (structure, not exact count, is what matters).
+  EXPECT_GT(hg.num_nodes(), 2000u);
+  EXPECT_LT(hg.num_nodes(), 2800u);
+  EXPECT_TRUE(hg.unit_sizes());
+  // The array is one connected block.
+  EXPECT_EQ(ConnectedComponents(hg).count, 1u);
+}
+
+TEST(ArrayMultiplier, ScalesQuadratically) {
+  const auto n4 = ArrayMultiplier(4).num_nodes();
+  const auto n8 = ArrayMultiplier(8).num_nodes();
+  const auto n16 = ArrayMultiplier(16).num_nodes();
+  EXPECT_GT(n8, 3u * n4);
+  EXPECT_GT(n16, 3u * n8);
+  EXPECT_THROW(ArrayMultiplier(1), Error);
+}
+
+TEST(ArrayMultiplier, InputsHaveHighFanout) {
+  // Each a[j]/b[i] input feeds a full row/column of partial products, so the
+  // largest net degree should be about the bit width.
+  Hypergraph hg = ArrayMultiplier(8);
+  std::size_t max_deg = 0;
+  for (NetId e = 0; e < hg.num_nets(); ++e)
+    max_deg = std::max(max_deg, hg.net_degree(e));
+  EXPECT_GE(max_deg, 8u);
+}
+
+TEST(Iscas85Suite, AllCircuitsBuild) {
+  for (const SuiteEntry& entry : Iscas85Suite()) {
+    Hypergraph hg = MakeIscas85Like(entry.name);
+    if (entry.name == "c6288") {
+      EXPECT_NEAR(static_cast<double>(hg.num_nodes()),
+                  static_cast<double>(entry.target_gates),
+                  0.15 * static_cast<double>(entry.target_gates));
+    } else {
+      EXPECT_EQ(hg.num_nodes(), entry.target_gates);
+    }
+    EXPECT_EQ(ConnectedComponents(hg).count, 1u) << entry.name;
+  }
+}
+
+TEST(Iscas85Suite, UnknownNameThrows) {
+  EXPECT_THROW(MakeIscas85Like("c9999"), Error);
+}
+
+TEST(Iscas85Suite, PaperOrderAndNames) {
+  const auto& suite = Iscas85Suite();
+  ASSERT_EQ(suite.size(), 5u);
+  EXPECT_EQ(suite[0].name, "c1355");
+  EXPECT_EQ(suite[1].name, "c2670");
+  EXPECT_EQ(suite[2].name, "c3540");
+  EXPECT_EQ(suite[3].name, "c6288");
+  EXPECT_EQ(suite[4].name, "c7552");
+}
+
+}  // namespace
+}  // namespace htp

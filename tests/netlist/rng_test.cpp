@@ -1,0 +1,85 @@
+#include "netlist/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace htp {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  bool any_differ = false;
+  for (int i = 0; i < 16; ++i) any_differ |= a.next_u64() != b.next_u64();
+  EXPECT_TRUE(any_differ);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 17ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+  EXPECT_THROW(rng.next_below(0), Error);
+}
+
+TEST(Rng, NextBelowIsRoughlyUniform) {
+  Rng rng(11);
+  constexpr std::uint64_t kBound = 10;
+  constexpr int kDraws = 100000;
+  std::vector<int> histogram(kBound, 0);
+  for (int i = 0; i < kDraws; ++i) ++histogram[rng.next_below(kBound)];
+  for (std::uint64_t b = 0; b < kBound; ++b) {
+    EXPECT_GT(histogram[b], kDraws / 10 - kDraws / 50);
+    EXPECT_LT(histogram[b], kDraws / 10 + kDraws / 50);
+  }
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(5);
+  double min = 1.0, max = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+    min = std::min(min, x);
+    max = std::max(max, x);
+  }
+  EXPECT_LT(min, 0.01);
+  EXPECT_GT(max, 0.99);
+}
+
+TEST(Rng, ForkedStreamsAreIndependent) {
+  Rng parent(9);
+  Rng fork_a = parent.fork(1);
+  Rng fork_b = parent.fork(2);
+  std::set<std::uint64_t> values;
+  for (int i = 0; i < 32; ++i) {
+    values.insert(fork_a.next_u64());
+    values.insert(fork_b.next_u64());
+  }
+  EXPECT_EQ(values.size(), 64u);  // no collisions between streams
+}
+
+TEST(Rng, ShuffleIsAPermutationAndDeterministic) {
+  std::vector<int> v(50);
+  for (int i = 0; i < 50; ++i) v[i] = i;
+  std::vector<int> w = v;
+  Rng a(3), b(3);
+  a.shuffle(v);
+  b.shuffle(w);
+  EXPECT_EQ(v, w);
+  std::sort(w.begin(), w.end());
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(w[i], i);  // still a permutation
+  // And actually shuffled.
+  bool moved = false;
+  for (int i = 0; i < 50; ++i) moved |= v[i] != i;
+  EXPECT_TRUE(moved);
+}
+
+}  // namespace
+}  // namespace htp

@@ -1,0 +1,86 @@
+#include "partition/annealing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/paper_examples.hpp"
+#include "partition/random_partition.hpp"
+#include "test_util.hpp"
+
+namespace htp {
+namespace {
+
+TEST(Annealing, ImprovesARandomStartOnFigure2) {
+  Hypergraph hg = Figure2Graph();
+  // Figure 2's exact capacities admit no single-node move; give the
+  // annealer the slack real hierarchies have (same as the FM tests).
+  HierarchySpec spec({{5.0, 2, 1.0}, {9.0, 2, 2.0}, {16.0, 2, 1.0}});
+  Rng rng(3);
+  TreePartition tp = RandomPartition(hg, spec, rng);
+  const double before = PartitionCost(tp, spec);
+  AnnealingParams params;
+  params.seed = 3;
+  const AnnealingStats stats = AnnealHtp(tp, spec, params);
+  EXPECT_LE(stats.final_cost, before + 1e-9);
+  EXPECT_NEAR(stats.final_cost, PartitionCost(tp, spec), 1e-9);
+  RequireValidPartition(tp, spec);
+  EXPECT_GT(stats.accepted, 0u);
+}
+
+TEST(Annealing, NoLeavesMeansNoChange) {
+  // A single-leaf (root at level 0) partition has no moves at all.
+  HypergraphBuilder builder;
+  builder.add_node();
+  builder.add_node();
+  builder.add_net({0u, 1u});
+  Hypergraph hg = builder.build();
+  TreePartition tp(hg, 0);
+  tp.AssignNode(0, TreePartition::kRoot);
+  tp.AssignNode(1, TreePartition::kRoot);
+  HierarchySpec spec({{2.0, 2, 1.0}, {2.0, 2, 1.0}});
+  const AnnealingStats stats = AnnealHtp(tp, spec);
+  EXPECT_DOUBLE_EQ(stats.final_cost, stats.initial_cost);
+}
+
+TEST(Annealing, ParameterValidation) {
+  Hypergraph hg = Figure2Graph();
+  TreePartition tp = Figure2OptimalPartition(hg);
+  AnnealingParams params;
+  params.cooling = 1.5;
+  EXPECT_THROW(AnnealHtp(tp, Figure2Spec(), params), Error);
+  params = {};
+  params.moves_per_node = 0.0;
+  EXPECT_THROW(AnnealHtp(tp, Figure2Spec(), params), Error);
+}
+
+class AnnealingPropertyTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(AnnealingPropertyTest, MonotoneValidAndDeterministic) {
+  const std::uint64_t seed = GetParam();
+  Hypergraph hg = testutil::RandomConnectedHypergraph(
+      30 + seed % 30, 35 + seed % 30, 3, seed);
+  const HierarchySpec spec = FullBinaryHierarchy(hg.total_size(), 2, 0.3);
+  Rng rng(seed);
+  TreePartition tp = RandomPartition(hg, spec, rng);
+  TreePartition twin = tp;
+  const double before = PartitionCost(tp, spec);
+
+  AnnealingParams params;
+  params.seed = seed * 5 + 1;
+  params.max_sweeps = 40;
+  const AnnealingStats a = AnnealHtp(tp, spec, params);
+  EXPECT_LE(a.final_cost, before + 1e-9);
+  EXPECT_NEAR(a.final_cost, PartitionCost(tp, spec), 1e-9);
+  RequireValidPartition(tp, spec);
+
+  const AnnealingStats b = AnnealHtp(twin, spec, params);
+  EXPECT_DOUBLE_EQ(a.final_cost, b.final_cost);
+  for (NodeId v = 0; v < hg.num_nodes(); ++v)
+    EXPECT_EQ(tp.leaf_of(v), twin.leaf_of(v));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AnnealingPropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace htp

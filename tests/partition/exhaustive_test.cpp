@@ -1,0 +1,76 @@
+#include "partition/exhaustive.hpp"
+
+#include <gtest/gtest.h>
+
+#include "partition/htp_fm.hpp"
+#include "partition/random_partition.hpp"
+#include "test_util.hpp"
+
+namespace htp {
+namespace {
+
+TEST(Exhaustive, TwoTrianglesBridgeCut) {
+  HypergraphBuilder builder;
+  for (int i = 0; i < 6; ++i) builder.add_node();
+  builder.add_net({0u, 1u});
+  builder.add_net({1u, 2u});
+  builder.add_net({0u, 2u});
+  builder.add_net({3u, 4u});
+  builder.add_net({4u, 5u});
+  builder.add_net({3u, 5u});
+  builder.add_net({2u, 3u});
+  Hypergraph hg = builder.build();
+  HierarchySpec spec({{3.0, 2, 1.0}, {6.0, 2, 1.0}});
+  const auto exact = ExhaustiveHtp(hg, spec);
+  ASSERT_TRUE(exact.has_value());
+  EXPECT_DOUBLE_EQ(exact->cost, 2.0);  // bridge spans 2 blocks at level 0
+  RequireValidPartition(exact->best, spec);
+  EXPECT_GT(exact->evaluated, 1u);
+}
+
+TEST(Exhaustive, RespectsEnumerationCap) {
+  Hypergraph hg = testutil::RandomConnectedHypergraph(14, 14, 3, 1);
+  const HierarchySpec spec = FullBinaryHierarchy(hg.total_size(), 3, 0.3);
+  EXPECT_FALSE(ExhaustiveHtp(hg, spec, 10).has_value());
+}
+
+TEST(Exhaustive, SingleLeafInstance) {
+  HypergraphBuilder builder;
+  builder.add_node();
+  builder.add_node();
+  builder.add_net({0u, 1u});
+  Hypergraph hg = builder.build();
+  HierarchySpec spec({{2.0, 2, 1.0}, {2.0, 2, 1.0}});
+  const auto exact = ExhaustiveHtp(hg, spec);
+  ASSERT_TRUE(exact.has_value());
+  EXPECT_DOUBLE_EQ(exact->cost, 0.0);
+}
+
+// Ground-truth property: local search from any start can never beat the
+// exhaustive optimum, and the optimum is reachable by the heuristics on
+// easy instances.
+class ExhaustivePropertyTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExhaustivePropertyTest, LowerBoundsLocalSearch) {
+  const std::uint64_t seed = GetParam();
+  Hypergraph hg = testutil::RandomConnectedHypergraph(9, 8, 3, seed);
+  std::vector<LevelSpec> levels(3);
+  levels[0] = {3.0, 2, 1.0};
+  levels[1] = {6.0, 2, 1.5};
+  levels[2] = {9.0, 2, 1.0};
+  const HierarchySpec spec{std::move(levels)};
+  const auto exact = ExhaustiveHtp(hg, spec);
+  ASSERT_TRUE(exact.has_value());
+  Rng rng(seed * 3 + 1);
+  TreePartition tp = RandomPartition(hg, spec, rng);
+  const HtpFmStats stats = RefineHtpFm(tp, spec);
+  EXPECT_GE(stats.final_cost, exact->cost - 1e-9)
+      << "local search reported a cost below the certified optimum";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExhaustivePropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace htp

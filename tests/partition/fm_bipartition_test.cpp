@@ -1,0 +1,147 @@
+#include "partition/fm_bipartition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/maxflow.hpp"
+#include "test_util.hpp"
+
+namespace htp {
+namespace {
+
+Hypergraph TwoClusters(std::size_t cluster, double bridge_cap = 1.0) {
+  HypergraphBuilder builder;
+  for (std::size_t i = 0; i < 2 * cluster; ++i) builder.add_node();
+  for (std::size_t base : {std::size_t{0}, cluster})
+    for (std::size_t i = 0; i < cluster; ++i)
+      for (std::size_t j = i + 1; j < cluster; ++j)
+        builder.add_net({static_cast<NodeId>(base + i),
+                         static_cast<NodeId>(base + j)});
+  builder.add_net({0u, static_cast<NodeId>(cluster)}, bridge_cap, "bridge");
+  return builder.build();
+}
+
+TEST(EvaluateBipartition, CountsCutNets) {
+  Hypergraph hg = TwoClusters(3);
+  std::vector<char> side(6, 0);
+  side[3] = side[4] = side[5] = 1;
+  const Bipartition part = EvaluateBipartition(hg, side);
+  EXPECT_DOUBLE_EQ(part.cut, 1.0);  // only the bridge
+  EXPECT_DOUBLE_EQ(part.size0, 3.0);
+}
+
+TEST(FmRefine, RepairsAScrambledSplit) {
+  Hypergraph hg = TwoClusters(5);
+  // Scrambled: one node from each cluster swapped.
+  std::vector<char> side(10, 0);
+  for (int i = 5; i < 10; ++i) side[i] = 1;
+  std::swap(side[0], side[5]);
+  Bipartition initial;
+  initial.side = side;
+  FmBipartitionParams params;
+  params.min_size0 = 5.0;
+  params.max_size0 = 5.0;
+  const Bipartition refined = FmRefineBipartition(hg, initial, params);
+  EXPECT_DOUBLE_EQ(refined.cut, 1.0);  // back to the bridge-only cut
+  EXPECT_DOUBLE_EQ(refined.size0, 5.0);
+}
+
+TEST(FmRefine, NeverWorsensTheCut) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Hypergraph hg = testutil::RandomConnectedHypergraph(36, 50, 4, seed);
+    Rng rng(seed * 5);
+    std::vector<char> side(hg.num_nodes());
+    double size0 = 0.0;
+    for (NodeId v = 0; v < hg.num_nodes(); ++v) {
+      side[v] = rng.next_bool(0.5) ? 1 : 0;
+      if (!side[v]) size0 += 1.0;
+    }
+    const Bipartition before = EvaluateBipartition(hg, side);
+    FmBipartitionParams params;
+    params.min_size0 = 1.0;
+    params.max_size0 = hg.total_size() - 1.0;
+    if (size0 < 1.0 || size0 > params.max_size0) continue;
+    const Bipartition after = FmRefineBipartition(hg, before, params);
+    EXPECT_LE(after.cut, before.cut + 1e-9);
+    EXPECT_GE(after.size0, params.min_size0 - 1e-9);
+    EXPECT_LE(after.size0, params.max_size0 + 1e-9);
+    // Reported cut must match a recomputation.
+    EXPECT_NEAR(after.cut, EvaluateBipartition(hg, after.side).cut, 1e-9);
+  }
+}
+
+TEST(FmRefine, RejectsWindowViolatingStart) {
+  Hypergraph hg = TwoClusters(3);
+  Bipartition initial;
+  initial.side.assign(6, 0);  // everything on side 0
+  FmBipartitionParams params;
+  params.min_size0 = 2.0;
+  params.max_size0 = 4.0;
+  EXPECT_THROW(FmRefineBipartition(hg, initial, params), Error);
+}
+
+TEST(FmBipartition, FindsBridgeCut) {
+  Hypergraph hg = TwoClusters(6);
+  FmBipartitionParams params;
+  params.min_size0 = 6.0;
+  params.max_size0 = 6.0;
+  Rng rng(3);
+  const Bipartition part = FmBipartition(hg, params, rng);
+  EXPECT_DOUBLE_EQ(part.cut, 1.0);
+  EXPECT_DOUBLE_EQ(part.size0, 6.0);
+}
+
+TEST(FmBipartition, MatchesMaxFlowOnFixedTerminals) {
+  // On a two-cluster instance with an unbalanced window, FM should reach
+  // the min-cut value that the max-flow oracle certifies.
+  Hypergraph hg = TwoClusters(8, 2.0);
+  const std::vector<NodeId> src{0};
+  const std::vector<NodeId> snk{8};
+  const HyperMinCut oracle = HypergraphMinCut(hg, src, snk);
+  FmBipartitionParams params;
+  params.min_size0 = 4.0;
+  params.max_size0 = 12.0;
+  Rng rng(4);
+  const Bipartition part = FmBipartition(hg, params, rng);
+  EXPECT_LE(part.cut, oracle.cut_value + 1e-9);
+}
+
+TEST(FmBipartition, HypergraphGainsHandleMultiPinNets) {
+  // Net {0,1,2} with 0,1 on side 0: moving 2 to side 0 uncuts it.
+  HypergraphBuilder builder;
+  for (int i = 0; i < 4; ++i) builder.add_node();
+  builder.add_net({0u, 1u, 2u});
+  builder.add_net({2u, 3u});
+  Hypergraph hg = builder.build();
+  std::vector<char> side{0, 0, 1, 1};
+  Bipartition initial;
+  initial.side = side;
+  FmBipartitionParams params;
+  params.min_size0 = 1.0;
+  params.max_size0 = 3.0;
+  const Bipartition refined = FmRefineBipartition(hg, initial, params);
+  // Optimal within the window: {0,1,2} | {3} cutting only {2,3}.
+  EXPECT_DOUBLE_EQ(refined.cut, 1.0);
+}
+
+class FmWindowPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FmWindowPropertyTest, ConstructedSplitsRespectWindows) {
+  const std::uint64_t seed = GetParam();
+  Hypergraph hg = testutil::RandomConnectedHypergraph(
+      20 + seed % 30, 25 + seed % 25, 2 + seed % 4, seed);
+  const double total = hg.total_size();
+  FmBipartitionParams params;
+  params.min_size0 = total * 0.3;
+  params.max_size0 = total * 0.6;
+  Rng rng(seed);
+  const Bipartition part = FmBipartition(hg, params, rng);
+  EXPECT_GE(part.size0, params.min_size0 - 1e-9);
+  EXPECT_LE(part.size0, params.max_size0 + 1e-9);
+  EXPECT_NEAR(part.cut, EvaluateBipartition(hg, part.side).cut, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FmWindowPropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace htp

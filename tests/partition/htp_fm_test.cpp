@@ -1,0 +1,102 @@
+#include "partition/htp_fm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/paper_examples.hpp"
+#include "partition/random_partition.hpp"
+#include "test_util.hpp"
+
+namespace htp {
+namespace {
+
+TEST(HtpFm, FixesASingleMisplacedNode) {
+  Hypergraph hg = Figure2Graph();
+  // Figure 2's exact capacities (C0 = 4 with 4-node leaves) leave no
+  // headroom for single-node moves; refinement needs the slack real
+  // hierarchies have. One spare slot per block suffices for the swap.
+  HierarchySpec spec({{5.0, 2, 1.0}, {9.0, 2, 2.0}, {16.0, 2, 1.0}});
+  TreePartition tp = Figure2OptimalPartition(hg);
+  // Swap nodes 0 and 15 across the hierarchy: strictly worse than optimal.
+  const BlockId leaf_a = tp.leaf_of(0);
+  const BlockId leaf_d = tp.leaf_of(15);
+  tp.MoveNode(0, leaf_d);
+  tp.MoveNode(15, leaf_a);
+  const double scrambled = PartitionCost(tp, spec);
+  ASSERT_GT(scrambled, kFigure2OptimalCost);
+
+  const HtpFmStats stats = RefineHtpFm(tp, spec);
+  RequireValidPartition(tp, spec);
+  EXPECT_DOUBLE_EQ(stats.initial_cost, scrambled);
+  EXPECT_DOUBLE_EQ(stats.final_cost, kFigure2OptimalCost);
+  EXPECT_DOUBLE_EQ(PartitionCost(tp, spec), kFigure2OptimalCost);
+}
+
+TEST(HtpFm, ReportedCostsMatchReality) {
+  Hypergraph hg = testutil::RandomConnectedHypergraph(50, 70, 4, 31);
+  const HierarchySpec spec = FullBinaryHierarchy(hg.total_size(), 3, 0.25);
+  Rng rng(31);
+  TreePartition tp = RandomPartition(hg, spec, rng);
+  const double before = PartitionCost(tp, spec);
+  const HtpFmStats stats = RefineHtpFm(tp, spec);
+  EXPECT_DOUBLE_EQ(stats.initial_cost, before);
+  EXPECT_NEAR(stats.final_cost, PartitionCost(tp, spec), 1e-6);
+}
+
+TEST(HtpFm, EarlyStopWindowStillImproves) {
+  Hypergraph hg = testutil::RandomConnectedHypergraph(60, 90, 3, 13);
+  const HierarchySpec spec = FullBinaryHierarchy(hg.total_size(), 3, 0.25);
+  Rng rng(13);
+  TreePartition tp = RandomPartition(hg, spec, rng);
+  const double before = PartitionCost(tp, spec);
+  HtpFmParams params;
+  params.early_stop_window = 10;
+  const HtpFmStats stats = RefineHtpFm(tp, spec, params);
+  EXPECT_LE(stats.final_cost, before + 1e-9);
+  RequireValidPartition(tp, spec);
+}
+
+TEST(HtpFm, RequiresCompletePartition) {
+  Hypergraph hg = Figure2Graph();
+  TreePartition tp(hg, 2);
+  EXPECT_THROW(RefineHtpFm(tp, Figure2Spec()), Error);
+}
+
+// The paper's Table 3 property: FM improvement never makes a constructive
+// solution worse, and preserves validity, for all three kinds of initial
+// partitions and across random instances.
+class HtpFmPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HtpFmPropertyTest, NeverWorsensAndStaysValid) {
+  const std::uint64_t seed = GetParam();
+  Hypergraph hg = testutil::RandomConnectedHypergraph(
+      30 + seed % 50, 40 + seed % 50, 2 + seed % 4, seed);
+  const HierarchySpec spec =
+      FullBinaryHierarchy(hg.total_size(), 2 + seed % 3, 0.25);
+  Rng rng(seed ^ 0x1234);
+  TreePartition tp = RandomPartition(hg, spec, rng);
+  const double before = PartitionCost(tp, spec);
+  const HtpFmStats stats = RefineHtpFm(tp, spec);
+  RequireValidPartition(tp, spec);
+  EXPECT_LE(stats.final_cost, before + 1e-9);
+  EXPECT_NEAR(stats.final_cost, PartitionCost(tp, spec), 1e-6);
+  EXPECT_GE(stats.passes, 1u);
+}
+
+TEST_P(HtpFmPropertyTest, IdempotentAtConvergence) {
+  const std::uint64_t seed = GetParam();
+  Hypergraph hg = testutil::RandomConnectedHypergraph(25, 35, 3, seed * 11);
+  const HierarchySpec spec = FullBinaryHierarchy(hg.total_size(), 2, 0.3);
+  Rng rng(seed);
+  TreePartition tp = RandomPartition(hg, spec, rng);
+  (void)RefineHtpFm(tp, spec);
+  const double converged = PartitionCost(tp, spec);
+  const HtpFmStats again = RefineHtpFm(tp, spec);
+  EXPECT_NEAR(again.final_cost, converged, 1e-9);
+  EXPECT_EQ(again.moves_kept, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HtpFmPropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace htp

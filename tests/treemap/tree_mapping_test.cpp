@@ -1,0 +1,174 @@
+#include "treemap/tree_mapping.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+#include "treemap/tree_topology.hpp"
+
+namespace htp {
+namespace {
+
+TEST(TreeTopology, BuildAndRoot) {
+  TreeTopology tree;
+  const TreeVertexId a = tree.AddVertex(4.0, "a");
+  const TreeVertexId b = tree.AddVertex(4.0, "b");
+  const TreeVertexId c = tree.AddVertex(4.0, "c");
+  tree.AddEdge(a, b, 2.0);
+  tree.AddEdge(b, c, 3.0);
+  tree.Finalize();
+  EXPECT_EQ(tree.parent(a), kInvalidTreeVertex);  // vertex 0 is the root
+  EXPECT_EQ(tree.parent(b), a);
+  EXPECT_DOUBLE_EQ(tree.parent_edge_weight(c), 3.0);
+  EXPECT_DOUBLE_EQ(tree.total_capacity(), 12.0);
+  EXPECT_EQ(tree.order().front(), a);
+}
+
+TEST(TreeTopology, RejectsNonTrees) {
+  {
+    TreeTopology cycle;
+    const auto a = cycle.AddVertex(1.0);
+    const auto b = cycle.AddVertex(1.0);
+    const auto c = cycle.AddVertex(1.0);
+    cycle.AddEdge(a, b);
+    cycle.AddEdge(b, c);
+    cycle.AddEdge(c, a);
+    EXPECT_THROW(cycle.Finalize(), Error);
+  }
+  {
+    TreeTopology forest;
+    forest.AddVertex(1.0);
+    forest.AddVertex(1.0);
+    EXPECT_THROW(forest.Finalize(), Error);  // 2 vertices, 0 edges
+  }
+}
+
+TEST(TreeTopology, SteinerCostOnAPath) {
+  const TreeTopology path = TreeTopology::Path(5, 10.0);
+  // Marks at the ends span all four edges; adjacent marks span one.
+  const std::vector<TreeVertexId> ends{0, 4};
+  EXPECT_DOUBLE_EQ(path.SteinerCost(ends), 4.0);
+  const std::vector<TreeVertexId> pair{2, 3};
+  EXPECT_DOUBLE_EQ(path.SteinerCost(pair), 1.0);
+  const std::vector<TreeVertexId> one{3, 3, 3};
+  EXPECT_DOUBLE_EQ(path.SteinerCost(one), 0.0);
+  EXPECT_DOUBLE_EQ(path.SteinerCost({}), 0.0);
+  // A middle mark does not change the spanned edge set.
+  const std::vector<TreeVertexId> three{0, 2, 4};
+  EXPECT_DOUBLE_EQ(path.SteinerCost(three), 4.0);
+}
+
+TEST(TreeTopology, SteinerCostOnAStar) {
+  const TreeTopology star = TreeTopology::Star(4, 5.0);
+  // Leaves are vertices 1..4; two leaves route through the hub: 2 edges.
+  const std::vector<TreeVertexId> two{1, 3};
+  EXPECT_DOUBLE_EQ(star.SteinerCost(two), 2.0);
+  const std::vector<TreeVertexId> all{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(star.SteinerCost(all), 4.0);
+}
+
+TEST(TreeMapping, CostOfAHandMapping) {
+  // Nodes 0-1 on vertex 0, node 2 on vertex 2 of a 3-path: the 3-pin net
+  // spans both edges, the 2-pin net {0,1} spans none.
+  HypergraphBuilder builder;
+  for (int i = 0; i < 3; ++i) builder.add_node();
+  builder.add_net({0u, 1u});
+  builder.add_net({0u, 1u, 2u}, 2.0);
+  Hypergraph hg = builder.build();
+  const TreeTopology path = TreeTopology::Path(3, 2.0);
+  TreeMapping mapping(hg, path);
+  mapping.Assign(0, 0);
+  mapping.Assign(1, 0);
+  mapping.Assign(2, 2);
+  EXPECT_DOUBLE_EQ(NetRoutingCost(mapping, 0), 0.0);
+  EXPECT_DOUBLE_EQ(NetRoutingCost(mapping, 1), 2.0 * 2.0);
+  EXPECT_DOUBLE_EQ(MappingCost(mapping), 4.0);
+  EXPECT_TRUE(ValidateMapping(mapping).empty());
+}
+
+TEST(TreeMapping, ValidateFlagsOverloadAndIncompleteness) {
+  HypergraphBuilder builder;
+  for (int i = 0; i < 3; ++i) builder.add_node(2.0);
+  builder.add_net({0u, 1u});
+  builder.add_net({1u, 2u});
+  Hypergraph hg = builder.build();
+  const TreeTopology path = TreeTopology::Path(2, 3.0);
+  TreeMapping mapping(hg, path);
+  mapping.Assign(0, 0);
+  mapping.Assign(1, 0);  // load 4 > capacity 3
+  EXPECT_GE(ValidateMapping(mapping).size(), 2u);  // overload + incomplete
+}
+
+TEST(GreedyTreeMap, ProducesValidMappings) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    Hypergraph hg = testutil::RandomConnectedHypergraph(40, 40, 3, seed);
+    const TreeTopology tree = TreeTopology::KAryLeaves(2, 2, 14.0);
+    Rng rng(seed);
+    const TreeMapping mapping = GreedyTreeMap(hg, tree, rng);
+    EXPECT_TRUE(ValidateMapping(mapping).empty()) << "seed " << seed;
+  }
+}
+
+TEST(GreedyTreeMap, ThrowsWhenItCannotFit) {
+  Hypergraph hg = testutil::RandomConnectedHypergraph(20, 10, 3, 1);
+  const TreeTopology tiny = TreeTopology::Path(2, 5.0);  // capacity 10 < 20
+  Rng rng(1);
+  EXPECT_THROW(GreedyTreeMap(hg, tiny, rng), Error);
+}
+
+TEST(RefineTreeMap, RecoversClusterStructure) {
+  // Two K5 clusters on a 2-path: optimal keeps each cluster on one vertex.
+  HypergraphBuilder builder;
+  for (int i = 0; i < 10; ++i) builder.add_node();
+  for (NodeId base : {0u, 5u})
+    for (NodeId i = 0; i < 5; ++i)
+      for (NodeId j = i + 1; j < 5; ++j) builder.add_net({base + i, base + j});
+  builder.add_net({0u, 5u});
+  Hypergraph hg = builder.build();
+  const TreeTopology path = TreeTopology::Path(2, 5.0);
+  TreeMapping mapping(hg, path);
+  // Adversarial start: clusters interleaved.
+  for (NodeId v = 0; v < 10; ++v)
+    mapping.Assign(v, v % 2 == 0 ? 0 : 1);
+  const TreeMapStats stats = RefineTreeMap(mapping);
+  EXPECT_DOUBLE_EQ(stats.final_cost, 1.0);  // only the bridge routes
+  EXPECT_TRUE(ValidateMapping(mapping).empty());
+}
+
+class TreeMapPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TreeMapPropertyTest, RefinementNeverWorsensAndStaysValid) {
+  const std::uint64_t seed = GetParam();
+  Hypergraph hg = testutil::RandomConnectedHypergraph(
+      20 + seed % 20, 20 + seed % 30, 4, seed);
+  const TreeTopology tree =
+      TreeTopology::KAryLeaves(2, 2, hg.total_size() / 3.0);
+  Rng rng(seed);
+  TreeMapping mapping = GreedyTreeMap(hg, tree, rng);
+  const double before = MappingCost(mapping);
+  const TreeMapStats stats = RefineTreeMap(mapping);
+  EXPECT_LE(stats.final_cost, before + 1e-9);
+  EXPECT_NEAR(stats.final_cost, MappingCost(mapping), 1e-9);
+  EXPECT_TRUE(ValidateMapping(mapping).empty());
+}
+
+TEST_P(TreeMapPropertyTest, SteinerCostIsMetricMonotone) {
+  // Adding marks can only grow the spanned subtree.
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed);
+  const TreeTopology tree = TreeTopology::KAryLeaves(3, 2, 1.0);
+  std::vector<TreeVertexId> marks;
+  double prev = 0.0;
+  for (int i = 0; i < 8; ++i) {
+    marks.push_back(
+        static_cast<TreeVertexId>(rng.next_below(tree.num_vertices())));
+    const double cost = tree.SteinerCost(marks);
+    EXPECT_GE(cost, prev - 1e-12);
+    prev = cost;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TreeMapPropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace htp
