@@ -24,6 +24,7 @@ int main(int argc, char** argv) {
       params.iterations = 2;
       params.injection.alpha = alpha;
       params.seed = options.seed;
+      params.threads = options.threads;
       double cost = 0;
       std::size_t injections = 0;
       const double secs = bench::TimeSeconds([&] {

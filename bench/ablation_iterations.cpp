@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
       HtpFlowParams params;
       params.iterations = n;
       params.seed = options.seed;
+      params.threads = options.threads;
       double cost = 0;
       const double secs =
           bench::TimeSeconds([&] { cost = RunHtpFlow(hg, spec, params).cost; });

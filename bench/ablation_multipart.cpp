@@ -27,6 +27,7 @@ int main(int argc, char** argv) {
       params.iterations = 2;
       params.constructions_per_metric = cpm;
       params.seed = options.seed;
+      params.threads = options.threads;
       double cost = 0;
       const double secs =
           bench::TimeSeconds([&] { cost = RunHtpFlow(hg, spec, params).cost; });

@@ -24,6 +24,7 @@ int main(int argc, char** argv) {
     HtpFlowParams fp;
     fp.iterations = options.quick ? 1 : 2;
     fp.seed = options.seed;
+    fp.threads = options.threads;
     const HtpFlowResult flow = RunHtpFlow(hg, spec, fp);
 
     TreePartition fm_part = flow.partition;

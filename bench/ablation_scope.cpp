@@ -31,6 +31,7 @@ int main(int argc, char** argv) {
       params.iterations = options.quick ? 1 : 2;
       params.metric_scope = scopes[i];
       params.seed = options.seed;
+      params.threads = options.threads;
       secs[i] = bench::TimeSeconds(
           [&] { cost[i] = RunHtpFlow(hg, spec, params).cost; });
     }

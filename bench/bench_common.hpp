@@ -6,6 +6,10 @@
 // report. Flags:
 //   --quick            smaller circuit set / fewer iterations
 //   --seed <u64>       master seed (default 1997)
+//   --threads <n>      worker threads for FLOW's outer iterations
+//                      (0 = all hardware threads, default 1); FLOW results
+//                      are bit-identical for every value, only the wall
+//                      clock changes
 //   --bench-dir <dir>  load real ISCAS85 .bench files named <circuit>.bench
 //                      from <dir> instead of the calibrated generators
 #pragma once
@@ -26,6 +30,7 @@ struct Options {
   bool quick = false;
   std::uint64_t seed = 1997;
   std::size_t trials = 1;  ///< independent seeds averaged by some benches
+  std::size_t threads = 1;  ///< FLOW worker threads (0 = hardware)
   std::string bench_dir;
 };
 
@@ -39,12 +44,14 @@ inline Options ParseArgs(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--trials") == 0 && i + 1 < argc) {
       options.trials =
           std::max<std::size_t>(1, std::strtoull(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      options.threads = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--bench-dir") == 0 && i + 1 < argc) {
       options.bench_dir = argv[++i];
     } else {
       std::fprintf(stderr,
                    "unknown argument '%s' (supported: --quick, --seed N, "
-                   "--trials N, --bench-dir DIR)\n",
+                   "--trials N, --threads N, --bench-dir DIR)\n",
                    argv[i]);
       std::exit(2);
     }
@@ -94,6 +101,9 @@ inline void PrintHeader(const char* artifact, const char* description,
                   : options.bench_dir.c_str(),
               static_cast<unsigned long long>(options.seed),
               options.quick ? " | --quick" : "");
+  if (options.threads != 1)
+    std::printf("FLOW threads: %zu%s (results identical to --threads 1)\n",
+                options.threads, options.threads == 0 ? " (all hardware)" : "");
   std::printf("==============================================================="
               "=================\n");
 }

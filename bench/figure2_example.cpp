@@ -54,6 +54,7 @@ int main(int argc, char** argv) {
   HtpFlowParams params;
   params.iterations = 4;
   params.seed = options.seed;
+  params.threads = options.threads;
   const HtpFlowResult flow = RunHtpFlow(hg, spec, params);
   std::printf("Algorithm 1 (FLOW, N=4):                    %.0f\n",
               flow.cost);

@@ -34,6 +34,7 @@ int main(int argc, char** argv) {
     HtpFlowParams fp;
     fp.iterations = options.quick ? 1 : 2;
     fp.seed = options.seed;
+    fp.threads = options.threads;
     HtpFlowResult flow = RunHtpFlow(hg, spec, fp);
 
     const double rfm_c = PartitionCost(rfm, spec);

@@ -25,6 +25,7 @@ int main(int argc, char** argv) {
     HtpFlowParams fp;
     fp.iterations = options.quick ? 1 : 2;
     fp.seed = options.seed;
+    fp.threads = options.threads;
     const double flow = RunHtpFlow(hg, spec, fp).cost;
     RfmParams rp;
     rp.seed = options.seed;

@@ -23,15 +23,21 @@ int main(int argc, char** argv) {
   if (options.trials > 1)
     std::printf("costs are means over %zu independent seeds\n",
                 options.trials);
-  std::printf("%-8s %10s %10s %10s %12s %12s %12s\n", "circuit", "GFM",
-              "RFM", "FLOW", "GFM CPU(s)", "RFM CPU(s)", "FLOW CPU(s)");
+  // With --threads != 1 every FLOW run is repeated serially, so the table
+  // also reports the parallel-driver wall-clock speedup (costs are
+  // identical by construction; any mismatch aborts the bench).
+  const bool report_speedup = options.threads != 1;
+  std::printf("%-8s %10s %10s %10s %12s %12s %12s", "circuit", "GFM", "RFM",
+              "FLOW", "GFM CPU(s)", "RFM CPU(s)", "FLOW CPU(s)");
+  if (report_speedup) std::printf(" %12s %8s", "FLOW@1(s)", "speedup");
+  std::printf("\n");
 
   double flow_wins = 0, cases = 0;
   for (const auto& [name, hg] : bench::LoadSuite(options)) {
     const HierarchySpec spec = FullBinaryHierarchy(hg.total_size());
 
     double gfm_cost = 0, rfm_cost = 0, flow_cost = 0;
-    double gfm_t = 0, rfm_t = 0, flow_t = 0;
+    double gfm_t = 0, rfm_t = 0, flow_t = 0, flow_serial_t = 0;
     for (std::size_t trial = 0; trial < options.trials; ++trial) {
       const std::uint64_t seed = options.seed + trial * 7919;
       gfm_t += bench::TimeSeconds([&] {
@@ -44,20 +50,38 @@ int main(int argc, char** argv) {
         p.seed = seed;
         rfm_cost += PartitionCost(RunRfm(hg, spec, p), spec);
       });
-      flow_t += bench::TimeSeconds([&] {
-        HtpFlowParams p;
-        p.iterations = options.quick ? 2 : 4;
-        p.seed = seed;
-        flow_cost += RunHtpFlow(hg, spec, p).cost;
-      });
+      HtpFlowParams p;
+      p.iterations = options.quick ? 2 : 4;
+      p.seed = seed;
+      p.threads = options.threads;
+      double cost = 0;
+      flow_t += bench::TimeSeconds([&] { cost = RunHtpFlow(hg, spec, p).cost; });
+      flow_cost += cost;
+      if (report_speedup) {
+        p.threads = 1;
+        double serial_cost = 0;
+        flow_serial_t += bench::TimeSeconds(
+            [&] { serial_cost = RunHtpFlow(hg, spec, p).cost; });
+        if (serial_cost != cost) {
+          std::fprintf(stderr,
+                       "determinism violation on %s: threads=%zu cost %.17g "
+                       "!= serial cost %.17g\n",
+                       name.c_str(), options.threads, cost, serial_cost);
+          return 1;
+        }
+      }
     }
     const double n = static_cast<double>(options.trials);
     gfm_cost /= n;
     rfm_cost /= n;
     flow_cost /= n;
-    std::printf("%-8s %10.0f %10.0f %10.0f %12.2f %12.2f %12.2f\n",
+    std::printf("%-8s %10.0f %10.0f %10.0f %12.2f %12.2f %12.2f",
                 name.c_str(), gfm_cost, rfm_cost, flow_cost, gfm_t / n,
                 rfm_t / n, flow_t / n);
+    if (report_speedup)
+      std::printf(" %12.2f %7.2fx", flow_serial_t / n,
+                  flow_t > 0 ? flow_serial_t / flow_t : 0.0);
+    std::printf("\n");
     cases += 1;
     if (flow_cost <= std::min(gfm_cost, rfm_cost)) flow_wins += 1;
   }

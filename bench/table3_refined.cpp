@@ -36,6 +36,7 @@ int main(int argc, char** argv) {
     HtpFlowParams fp;
     fp.iterations = options.quick ? 2 : 4;
     fp.seed = options.seed;
+    fp.threads = options.threads;
     HtpFlowResult flow = RunHtpFlow(hg, spec, fp);
 
     struct Row {

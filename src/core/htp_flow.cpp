@@ -1,6 +1,9 @@
 #include "core/htp_flow.hpp"
 
+#include <chrono>
+
 #include "core/mst_carver.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace htp {
 namespace {
@@ -28,6 +31,82 @@ CarveResult BestOfCarves(const Hypergraph& hg,
   return best;
 }
 
+// The RNG streams one iteration consumes, pre-forked from the master in the
+// exact order the serial loop drew them (injection seed, then the metric
+// stream, then the construction stream). Forking mutates the master, so all
+// streams are materialized up front before any iteration runs; afterwards an
+// iteration touches only its own entry, making the outer loop data-parallel.
+struct IterationStreams {
+  std::uint64_t injection_seed;
+  Rng metric_rng;
+  Rng construct_rng;
+};
+
+// Result slot of one outer iteration.
+struct IterationOutcome {
+  HtpFlowIteration stats;
+  std::optional<TreePartition> best_partition;
+  double best_cost = 0.0;
+};
+
+// One Algorithm-1 iteration: compute a metric, construct
+// `constructions_per_metric` partitions on it, keep the cheapest (first on
+// ties). Reads only shared immutable state plus its own stream slot.
+IterationOutcome RunIteration(const Hypergraph& hg, const HierarchySpec& spec,
+                              const HtpFlowParams& params,
+                              IterationStreams& streams) {
+  const auto start = std::chrono::steady_clock::now();
+  FlowInjectionParams injection = params.injection;
+  injection.seed = streams.injection_seed;
+  const FlowInjectionResult metric = ComputeSpreadingMetric(hg, spec, injection);
+
+  IterationOutcome out;
+  out.stats.metric_cost = metric.metric_cost;
+  out.stats.injections = metric.injections;
+  out.stats.metric_converged = metric.converged;
+  out.stats.best_partition_cost = -1.0;
+
+  // The carver: in kPerSubproblem mode the whole-graph carves use the
+  // metric computed above, and every proper subproblem gets a freshly
+  // injected local metric (the restriction of a global metric keeps
+  // full multi-level lengths on boundary nets and so misguides
+  // lower-level carves; see MetricScope).
+  Rng& metric_rng = streams.metric_rng;
+  const CarveFn carve = [&](const Hypergraph& sub,
+                            std::span<const double> sub_metric, double lb,
+                            double ub, Rng& rng) {
+    if (params.metric_scope == MetricScope::kPerSubproblem &&
+        sub.num_nodes() < hg.num_nodes() &&
+        sub.total_size() > spec.capacity(0)) {
+      FlowInjectionParams local = params.injection;
+      local.seed = metric_rng.next_u64();
+      const FlowInjectionResult local_metric =
+          ComputeSpreadingMetric(sub, spec, local);
+      return BestOfCarves(sub, local_metric.metric, lb, ub, rng,
+                          params.carve_attempts, params.carver);
+    }
+    return BestOfCarves(sub, sub_metric, lb, ub, rng,
+                        params.carve_attempts, params.carver);
+  };
+
+  for (std::size_t c = 0; c < params.constructions_per_metric; ++c) {
+    TreePartition tp = BuildPartitionTopDown(hg, spec, metric.metric, carve,
+                                             streams.construct_rng);
+    const double cost = PartitionCost(tp, spec);
+    if (out.stats.best_partition_cost < 0.0 ||
+        cost < out.stats.best_partition_cost)
+      out.stats.best_partition_cost = cost;
+    if (!out.best_partition || cost < out.best_cost) {
+      out.best_partition = std::move(tp);
+      out.best_cost = cost;
+    }
+  }
+  out.stats.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return out;
+}
+
 }  // namespace
 
 HtpFlowResult RunHtpFlow(const Hypergraph& hg, const HierarchySpec& spec,
@@ -37,59 +116,37 @@ HtpFlowResult RunHtpFlow(const Hypergraph& hg, const HierarchySpec& spec,
   HTP_CHECK(params.carve_attempts >= 1);
   Rng master(params.seed);
 
-  std::optional<HtpFlowResult> best;
-  std::vector<HtpFlowIteration> stats;
+  std::vector<IterationStreams> streams;
+  streams.reserve(params.iterations);
   for (std::size_t iter = 0; iter < params.iterations; ++iter) {
-    FlowInjectionParams injection = params.injection;
-    injection.seed = master.fork(iter).next_u64();
-    const FlowInjectionResult metric =
-        ComputeSpreadingMetric(hg, spec, injection);
-
-    HtpFlowIteration it_stats;
-    it_stats.metric_cost = metric.metric_cost;
-    it_stats.injections = metric.injections;
-    it_stats.metric_converged = metric.converged;
-    it_stats.best_partition_cost = -1.0;
-
-    // The carver: in kPerSubproblem mode the whole-graph carves use the
-    // metric computed above, and every proper subproblem gets a freshly
-    // injected local metric (the restriction of a global metric keeps
-    // full multi-level lengths on boundary nets and so misguides
-    // lower-level carves; see MetricScope).
-    Rng metric_rng = master.fork(2000 + iter);
-    const CarveFn carve = [&](const Hypergraph& sub,
-                              std::span<const double> sub_metric, double lb,
-                              double ub, Rng& rng) {
-      if (params.metric_scope == MetricScope::kPerSubproblem &&
-          sub.num_nodes() < hg.num_nodes() &&
-          sub.total_size() > spec.capacity(0)) {
-        FlowInjectionParams local = params.injection;
-        local.seed = metric_rng.next_u64();
-        const FlowInjectionResult local_metric =
-            ComputeSpreadingMetric(sub, spec, local);
-        return BestOfCarves(sub, local_metric.metric, lb, ub, rng,
-                            params.carve_attempts, params.carver);
-      }
-      return BestOfCarves(sub, sub_metric, lb, ub, rng,
-                          params.carve_attempts, params.carver);
-    };
-
-    Rng construct_rng = master.fork(1000 + iter);
-    for (std::size_t c = 0; c < params.constructions_per_metric; ++c) {
-      TreePartition tp = BuildPartitionTopDown(hg, spec, metric.metric, carve,
-                                               construct_rng);
-      const double cost = PartitionCost(tp, spec);
-      if (it_stats.best_partition_cost < 0.0 ||
-          cost < it_stats.best_partition_cost)
-        it_stats.best_partition_cost = cost;
-      if (!best || cost < best->cost) {
-        best = HtpFlowResult{std::move(tp), cost, {}};
-      }
-    }
-    stats.push_back(it_stats);
+    // Braced init evaluates left to right — the serial draw order.
+    streams.push_back(IterationStreams{master.fork(iter).next_u64(),
+                                       master.fork(2000 + iter),
+                                       master.fork(1000 + iter)});
   }
-  best->iterations = std::move(stats);
-  return std::move(*best);
+
+  // Each iteration fills exactly its own slot; with threads == 1 this runs
+  // inline on the calling thread. Exceptions (e.g. infeasible instances)
+  // propagate from the lowest failing iteration regardless of thread count.
+  std::vector<IterationOutcome> outcomes(params.iterations);
+  ParallelFor(params.threads, params.iterations, [&](std::size_t iter) {
+    outcomes[iter] = RunIteration(hg, spec, params, streams[iter]);
+  });
+
+  // Deterministic reduction: the serial loop kept the first strictly
+  // cheaper construction, i.e. the lowest (iteration, construction) index
+  // achieving the minimum cost — reproduce that tie-break exactly.
+  std::size_t winner = 0;
+  for (std::size_t i = 1; i < params.iterations; ++i)
+    if (outcomes[i].best_cost < outcomes[winner].best_cost) winner = i;
+
+  HtpFlowResult result{std::move(*outcomes[winner].best_partition),
+                       outcomes[winner].best_cost,
+                       {}};
+  result.iterations.reserve(params.iterations);
+  for (IterationOutcome& out : outcomes)
+    result.iterations.push_back(out.stats);
+  return result;
 }
 
 }  // namespace htp

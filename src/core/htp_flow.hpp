@@ -61,6 +61,13 @@ struct HtpFlowParams {
   CarverKind carver = CarverKind::kPrimPrefix;
   /// Master seed; per-iteration streams are forked from it.
   std::uint64_t seed = 1;
+  /// Worker threads for the outer iterations: 1 = serial (default, the
+  /// pre-parallelism code path), 0 = all hardware threads, anything else
+  /// literal. Every iteration draws from its own pre-forked RNG stream and
+  /// writes into its own result slot, so the returned partition, cost, and
+  /// iteration stats (wall_seconds aside) are bit-identical for every
+  /// value of `threads`.
+  std::size_t threads = 1;
 };
 
 /// Statistics of one Algorithm-1 iteration.
@@ -69,6 +76,9 @@ struct HtpFlowIteration {
   double best_partition_cost = 0.0;  ///< best construction on this metric
   std::size_t injections = 0;
   bool metric_converged = false;
+  /// Wall-clock of this iteration (metric + all constructions). Purely
+  /// informational: the one field excluded from the determinism guarantee.
+  double wall_seconds = 0.0;
 };
 
 /// Outcome of Algorithm 1.

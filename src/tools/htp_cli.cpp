@@ -40,6 +40,11 @@ void Usage(const char* argv0) {
                "  --slack S          capacity slack fraction (default 0.10)\n"
                "  --weights w0,w1..  per-level cost weights (default all 1)\n"
                "  --iterations N     Algorithm-1 iterations (default 4)\n"
+               "  --threads T        worker threads for FLOW iterations; "
+               "0 = all\n"
+               "                     hardware threads (default 0); results "
+               "are\n"
+               "                     identical for every T\n"
                "  --refine           apply generalized FM afterwards\n"
                "  --seed S           random seed (default 1)\n"
                "  --out FILE         write the partition (default stdout "
@@ -72,7 +77,7 @@ int main(int argc, char** argv) {
   std::string dot_file;
   std::string weights_csv;
   Level height = 4;
-  std::size_t branching = 2, iterations = 4;
+  std::size_t branching = 2, iterations = 4, threads = 0;
   double slack = 0.10;
   bool refine = false;
   std::uint64_t seed = 1;
@@ -94,6 +99,7 @@ int main(int argc, char** argv) {
     else if (arg("--slack")) slack = std::stod(argv[++i]);
     else if (arg("--weights")) weights_csv = argv[++i];
     else if (arg("--iterations")) iterations = std::stoul(argv[++i]);
+    else if (arg("--threads")) threads = std::stoul(argv[++i]);
     else if (arg("--seed")) seed = std::stoull(argv[++i]);
     else if (arg("--out")) out_file = argv[++i];
     else if (arg("--dot")) dot_file = argv[++i];
@@ -127,6 +133,7 @@ int main(int argc, char** argv) {
       HtpFlowParams params;
       params.iterations = iterations;
       params.seed = seed;
+      params.threads = threads;
       if (algo == "flow-mst") params.carver = CarverKind::kMstSplit;
       tp = RunHtpFlow(hg, spec, params).partition;
     } else if (algo == "rfm") {

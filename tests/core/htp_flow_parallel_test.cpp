@@ -1,0 +1,133 @@
+// Determinism of the parallel FLOW driver: RunHtpFlow must return a
+// bit-identical partition, cost, and per-iteration stats (wall_seconds
+// aside) for every thread count, on multiple circuits and both carvers.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/htp_flow.hpp"
+#include "core/paper_examples.hpp"
+#include "test_util.hpp"
+
+namespace htp {
+namespace {
+
+// Two structurally different circuits: a clustered random netlist and a
+// denser one with a taller hierarchy.
+struct Circuit {
+  const char* name;
+  Hypergraph hg;
+  HierarchySpec spec;
+};
+
+std::vector<Circuit> TestCircuits() {
+  std::vector<Circuit> circuits;
+  {
+    Hypergraph hg = testutil::RandomConnectedHypergraph(40, 50, 3, 5);
+    HierarchySpec spec = FullBinaryHierarchy(hg.total_size(), 3, 0.2);
+    circuits.push_back({"rand40", std::move(hg), std::move(spec)});
+  }
+  {
+    Hypergraph hg = testutil::RandomConnectedHypergraph(64, 90, 4, 123);
+    HierarchySpec spec = FullBinaryHierarchy(hg.total_size(), 4, 0.15);
+    circuits.push_back({"rand64", std::move(hg), std::move(spec)});
+  }
+  return circuits;
+}
+
+void ExpectIdenticalResults(const HtpFlowResult& reference,
+                            const HtpFlowResult& other,
+                            const Hypergraph& hg, const char* label) {
+  SCOPED_TRACE(label);
+  EXPECT_DOUBLE_EQ(reference.cost, other.cost);
+  for (NodeId v = 0; v < hg.num_nodes(); ++v)
+    ASSERT_EQ(reference.partition.leaf_of(v), other.partition.leaf_of(v))
+        << "node " << v;
+  ASSERT_EQ(reference.iterations.size(), other.iterations.size());
+  for (std::size_t i = 0; i < reference.iterations.size(); ++i) {
+    const HtpFlowIteration& a = reference.iterations[i];
+    const HtpFlowIteration& b = other.iterations[i];
+    EXPECT_DOUBLE_EQ(a.metric_cost, b.metric_cost) << "iteration " << i;
+    EXPECT_DOUBLE_EQ(a.best_partition_cost, b.best_partition_cost)
+        << "iteration " << i;
+    EXPECT_EQ(a.injections, b.injections) << "iteration " << i;
+    EXPECT_EQ(a.metric_converged, b.metric_converged) << "iteration " << i;
+    // wall_seconds is intentionally not compared.
+  }
+}
+
+class HtpFlowParallelTest : public ::testing::TestWithParam<CarverKind> {};
+
+TEST_P(HtpFlowParallelTest, BitIdenticalAcrossThreadCounts) {
+  for (const Circuit& circuit : TestCircuits()) {
+    SCOPED_TRACE(circuit.name);
+    HtpFlowParams params;
+    params.iterations = 4;
+    params.constructions_per_metric = 2;
+    params.carver = GetParam();
+    params.seed = 97;
+    params.threads = 1;
+    const HtpFlowResult serial = RunHtpFlow(circuit.hg, circuit.spec, params);
+    RequireValidPartition(serial.partition, circuit.spec);
+    ASSERT_EQ(serial.iterations.size(), params.iterations);
+
+    for (std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+      params.threads = threads;
+      const HtpFlowResult parallel =
+          RunHtpFlow(circuit.hg, circuit.spec, params);
+      RequireValidPartition(parallel.partition, circuit.spec);
+      ExpectIdenticalResults(serial, parallel, circuit.hg,
+                             threads == 2 ? "threads=2" : "threads=8");
+    }
+  }
+}
+
+TEST_P(HtpFlowParallelTest, HardwareConcurrencyMatchesSerial) {
+  Hypergraph hg = testutil::RandomConnectedHypergraph(40, 50, 3, 5);
+  const HierarchySpec spec = FullBinaryHierarchy(hg.total_size(), 3, 0.2);
+  HtpFlowParams params;
+  params.iterations = 3;
+  params.carver = GetParam();
+  params.seed = 7;
+  params.threads = 1;
+  const HtpFlowResult serial = RunHtpFlow(hg, spec, params);
+  params.threads = 0;  // all hardware threads
+  const HtpFlowResult parallel = RunHtpFlow(hg, spec, params);
+  ExpectIdenticalResults(serial, parallel, hg, "threads=0");
+}
+
+INSTANTIATE_TEST_SUITE_P(Carvers, HtpFlowParallelTest,
+                         ::testing::Values(CarverKind::kPrimPrefix,
+                                           CarverKind::kMstSplit));
+
+TEST(HtpFlowParallel, ParallelRunMatchesPreParallelismSerialBehaviour) {
+  // The refactor pre-forks the per-iteration RNG streams; this pins the
+  // serial path's output so any future reordering of the forks (which
+  // would silently change every seed's result) fails loudly.
+  Hypergraph hg = Figure2Graph();
+  HtpFlowParams params;
+  params.iterations = 4;
+  params.metric_scope = MetricScope::kGlobalOnce;  // mirrors HtpFlowOptions.
+  params.threads = 8;
+  const HtpFlowResult result = RunHtpFlow(hg, Figure2Spec(), params);
+  RequireValidPartition(result.partition, Figure2Spec());
+  EXPECT_DOUBLE_EQ(result.cost, kFigure2OptimalCost);
+}
+
+TEST(HtpFlowParallel, IterationWallTimesArePopulated) {
+  Hypergraph hg = testutil::RandomConnectedHypergraph(40, 50, 3, 5);
+  const HierarchySpec spec = FullBinaryHierarchy(hg.total_size(), 3, 0.2);
+  HtpFlowParams params;
+  params.iterations = 3;
+  params.threads = 2;
+  const HtpFlowResult result = RunHtpFlow(hg, spec, params);
+  double total = 0.0;
+  for (const HtpFlowIteration& it : result.iterations) {
+    EXPECT_GE(it.wall_seconds, 0.0);
+    total += it.wall_seconds;
+  }
+  EXPECT_GT(total, 0.0);
+}
+
+}  // namespace
+}  // namespace htp

@@ -1,0 +1,130 @@
+// Unit coverage of the fork-join thread pool: every index runs exactly
+// once, zero-task rounds return immediately, pools are reusable across
+// rounds (including after an exception), and exception propagation picks
+// the lowest failing index deterministically.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "runtime/thread_pool.hpp"
+
+namespace htp {
+namespace {
+
+TEST(ThreadPool, ResolveThreadCount) {
+  EXPECT_GE(ResolveThreadCount(0), 1u);  // 0 = hardware concurrency
+  EXPECT_EQ(ResolveThreadCount(1), 1u);
+  EXPECT_EQ(ResolveThreadCount(7), 7u);
+}
+
+TEST(ThreadPool, ClampsToAtLeastOneWorker) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  std::atomic<int> ran{0};
+  ParallelFor(pool, 3, [&](std::size_t) { ran++; });
+  EXPECT_EQ(ran.load(), 3);
+}
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kCount = 200;
+  std::vector<std::atomic<int>> hits(kCount);
+  ParallelFor(pool, kCount, [&](std::size_t i) { hits[i]++; });
+  for (std::size_t i = 0; i < kCount; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPool, ZeroTasksReturnsWithoutInvokingBody) {
+  ThreadPool pool(2);
+  bool called = false;
+  ParallelFor(pool, 0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+  ParallelFor(std::size_t{4}, 0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, ReusableAcrossManyRounds) {
+  ThreadPool pool(3);
+  std::atomic<long> total{0};
+  for (int round = 0; round < 20; ++round)
+    ParallelFor(pool, 50,
+                [&](std::size_t i) { total += static_cast<long>(i); });
+  EXPECT_EQ(total.load(), 20 * (49 * 50 / 2));
+}
+
+TEST(ThreadPool, ManyMoreTasksThanWorkers) {
+  ThreadPool pool(2);
+  std::atomic<long> total{0};
+  ParallelFor(pool, 1000, [&](std::size_t i) { total += static_cast<long>(i); });
+  EXPECT_EQ(total.load(), 999L * 1000 / 2);
+}
+
+TEST(ThreadPool, ExceptionOfLowestIndexPropagates) {
+  ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  try {
+    ParallelFor(pool, 32, [&](std::size_t i) {
+      if (i % 3 == 2)  // 2, 5, 8, ... fail; lowest is 2
+        throw std::runtime_error("task " + std::to_string(i));
+      completed++;
+    });
+    FAIL() << "expected ParallelFor to rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task 2");
+  }
+  // Every non-throwing task still ran to completion (no cancellation);
+  // 10 of the 32 indices (2, 5, ..., 29) threw.
+  EXPECT_EQ(completed.load(), 32 - 10);
+}
+
+TEST(ThreadPool, PoolSurvivesAThrowingRound) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      ParallelFor(pool, 4,
+                  [](std::size_t) { throw std::logic_error("boom"); }),
+      std::logic_error);
+  std::atomic<int> ran{0};
+  ParallelFor(pool, 8, [&](std::size_t) { ran++; });
+  EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(ThreadPool, SerialOverloadRunsInOrderOnCallingThread) {
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::size_t> order;
+  ParallelFor(std::size_t{1}, 5, [&](std::size_t i) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    order.push_back(i);
+  });
+  const std::vector<std::size_t> expected{0, 1, 2, 3, 4};
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPool, ParallelOverloadSpawnsTransientPool) {
+  std::atomic<long> total{0};
+  ParallelFor(std::size_t{4}, 100,
+              [&](std::size_t i) { total += static_cast<long>(i); });
+  EXPECT_EQ(total.load(), 99L * 100 / 2);
+}
+
+TEST(ThreadPool, SubmitRunsEnqueuedTask) {
+  ThreadPool pool(1);
+  std::promise<int> promise;
+  pool.Submit([&promise] { promise.set_value(42); });
+  EXPECT_EQ(promise.get_future().get(), 42);
+}
+
+TEST(ThreadPool, DestructorDrainsPendingTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 16; ++i) pool.Submit([&ran] { ran++; });
+  }  // destructor joins after draining the queue
+  EXPECT_EQ(ran.load(), 16);
+}
+
+}  // namespace
+}  // namespace htp
