@@ -12,17 +12,24 @@
 //                      clock changes
 //   --bench-dir <dir>  load real ISCAS85 .bench files named <circuit>.bench
 //                      from <dir> instead of the calibrated generators
+//   --obs-jsonl <file> append the telemetry snapshot of each measured
+//                      section as JSONL rows (obs/sinks.hpp), one line per
+//                      counter/timer, tagged with bench name and scope —
+//                      the machine-readable per-phase breakdown
 #pragma once
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "netlist/bench_parser.hpp"
 #include "netlist/generators.hpp"
+#include "obs/obs.hpp"
+#include "obs/sinks.hpp"
 
 namespace htp::bench {
 
@@ -32,6 +39,7 @@ struct Options {
   std::size_t trials = 1;  ///< independent seeds averaged by some benches
   std::size_t threads = 1;  ///< FLOW worker threads (0 = hardware)
   std::string bench_dir;
+  std::string obs_jsonl;  ///< JSONL telemetry stream path ("" = off)
 };
 
 inline Options ParseArgs(int argc, char** argv) {
@@ -48,10 +56,13 @@ inline Options ParseArgs(int argc, char** argv) {
       options.threads = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--bench-dir") == 0 && i + 1 < argc) {
       options.bench_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--obs-jsonl") == 0 && i + 1 < argc) {
+      options.obs_jsonl = argv[++i];
     } else {
       std::fprintf(stderr,
                    "unknown argument '%s' (supported: --quick, --seed N, "
-                   "--trials N, --threads N, --bench-dir DIR)\n",
+                   "--trials N, --threads N, --bench-dir DIR, "
+                   "--obs-jsonl FILE)\n",
                    argv[i]);
       std::exit(2);
     }
@@ -89,6 +100,72 @@ double TimeSeconds(Fn&& fn) {
                                        start)
       .count();
 }
+
+/// Value of a counter in a snapshot (0 when absent, e.g. obs off).
+inline std::uint64_t CounterTotal(const obs::Snapshot& snap,
+                                  std::string_view name) {
+  for (const obs::CounterValue& c : snap.counters)
+    if (c.name == name) return c.value;
+  return 0;
+}
+
+/// Scopes telemetry totals to one measured section (a circuit, a parameter
+/// setting): resets the registry on construction; on destruction emits the
+/// section's snapshot as JSONL (when --obs-jsonl is set) and optionally a
+/// one-line per-phase breakdown under the section's table row. Everything
+/// degrades to a no-op when obs is compiled out (snapshots are empty).
+class ObsSection {
+ public:
+  ObsSection(const Options& options, const char* bench, std::string scope,
+             bool print_phases = true)
+      : options_(options), bench_(bench), scope_(std::move(scope)),
+        print_phases_(print_phases) {
+    obs::ResetAll();
+  }
+  ~ObsSection() {
+    const obs::Snapshot snap = obs::TakeSnapshot();
+    if (!options_.obs_jsonl.empty()) {
+      std::ofstream out(options_.obs_jsonl, std::ios::app);
+      if (out) obs::WriteJsonlSnapshot(out, snap, bench_, scope_);
+    }
+    if (print_phases_) PrintPhaseBreakdown(snap);
+  }
+  ObsSection(const ObsSection&) = delete;
+  ObsSection& operator=(const ObsSection&) = delete;
+
+  /// Compact per-phase line, e.g.
+  ///   phases: metric 12.3ms/8 | build 4.5ms/8 | carve 3.2ms/96 | fm ...
+  /// Timer totals are CPU time summed over workers, so with --threads > 1
+  /// they can exceed the wall clock.
+  static void PrintPhaseBreakdown(const obs::Snapshot& snap) {
+    static constexpr struct { const char* label; const char* timer; } kPhases[] = {
+        {"metric", "flow.compute_metric"},
+        {"build", "build.partition"},
+        {"carve", "carve.find_cut"},
+        {"mst", "carve.mst_split"},
+        {"fm", "fm.refine"},
+    };
+    std::string line;
+    char buf[96];
+    for (const auto& phase : kPhases) {
+      for (const obs::TimerValue& t : snap.timers) {
+        if (t.name != phase.timer || t.count == 0) continue;
+        std::snprintf(buf, sizeof buf, "%s%s %.1fms/%llu",
+                      line.empty() ? "" : " | ", phase.label,
+                      static_cast<double>(t.total_ns) / 1e6,
+                      static_cast<unsigned long long>(t.count));
+        line += buf;
+      }
+    }
+    if (!line.empty()) std::printf("  phases: %s\n", line.c_str());
+  }
+
+ private:
+  const Options& options_;
+  const char* bench_;
+  std::string scope_;
+  bool print_phases_;
+};
 
 inline void PrintHeader(const char* artifact, const char* description,
                         const Options& options) {

@@ -7,6 +7,11 @@
 //   * Equation (1) cost evaluation.
 // The _BigO fits below empirically confirm the near-linear scaling in the
 // circuit size (n + p) at fixed hierarchy depth.
+//
+// The BM_Obs* group prices the telemetry probes themselves (obs/obs.hpp)
+// with no sink attached — the configuration every production run pays for.
+// Comparing BM_Dijkstra here against an -DHTP_OBS_ENABLED=OFF build is the
+// "<1% overhead when compiled in but unused" check from the design note.
 #include <benchmark/benchmark.h>
 
 #include "core/find_cut.hpp"
@@ -15,6 +20,7 @@
 #include "graph/dijkstra.hpp"
 #include "graph/prim.hpp"
 #include "netlist/generators.hpp"
+#include "obs/obs.hpp"
 #include "partition/htp_fm.hpp"
 #include "partition/random_partition.hpp"
 
@@ -113,6 +119,37 @@ void BM_PartitionCost(benchmark::State& state) {
 }
 BENCHMARK(BM_PartitionCost)->RangeMultiplier(4)->Range(256, 4096)
     ->Complexity(benchmark::oN);
+
+// Cost of one counter increment on the thread-local shard (the unit the
+// hot loops pay per *batched* flush, not per element). Expect ~1ns when
+// obs is on and ~0 when compiled out.
+void BM_ObsCounterAdd(benchmark::State& state) {
+  static obs::Counter counter("bench.obs_counter_add");
+  for (auto _ : state) counter.Add();
+}
+BENCHMARK(BM_ObsCounterAdd);
+
+// One steady_clock timed section recorded into the shard histogram cell.
+void BM_ObsScopedTimer(benchmark::State& state) {
+  static obs::Timer timer("bench.obs_scoped_timer");
+  for (auto _ : state) {
+    obs::ScopedTimer scoped(timer);
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_ObsScopedTimer);
+
+// PhaseScope with tracing disabled (the default): identical timing work as
+// ScopedTimer plus one relaxed atomic load deciding not to buffer an event.
+void BM_ObsPhaseScopeUntraced(benchmark::State& state) {
+  static obs::Timer timer("bench.obs_phase_scope");
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    obs::PhaseScope scoped(timer, "i", i++);
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_ObsPhaseScopeUntraced);
 
 }  // namespace
 

@@ -3,9 +3,27 @@
 #include <algorithm>
 
 #include "netlist/subhypergraph.hpp"
+#include "obs/obs.hpp"
 
 namespace htp {
 namespace {
+
+obs::Counter c_builds("build.partitions");
+obs::Counter c_carves("build.carves");
+obs::Counter c_blocks("build.blocks");
+obs::Counter c_max_depth("build.max_depth", obs::CounterKind::kMax);
+obs::Timer t_build("build.partition");
+
+// Per-level carve counts, `build.carves.l1` .. `build.carves.l8+` (carves
+// only happen at levels >= 1; everything above 8 shares the last bucket).
+obs::Counter& CarvesAtLevel(Level level) {
+  static obs::Counter counters[] = {
+      obs::Counter("build.carves.l1"),  obs::Counter("build.carves.l2"),
+      obs::Counter("build.carves.l3"),  obs::Counter("build.carves.l4"),
+      obs::Counter("build.carves.l5"),  obs::Counter("build.carves.l6"),
+      obs::Counter("build.carves.l7"),  obs::Counter("build.carves.l8+")};
+  return counters[std::min<std::size_t>(level >= 1 ? level - 1 : 0, 7)];
+}
 
 double SetSize(const Hypergraph& hg, const std::vector<NodeId>& nodes) {
   double s = 0.0;
@@ -30,8 +48,10 @@ class Builder {
     HTP_CHECK(metric.size() == hg.num_nets());
   }
 
-  // Populates block `q` with `nodes` (ids in the root hypergraph).
-  void Build(BlockId q, std::vector<NodeId> nodes) {
+  // Populates block `q` with `nodes` (ids in the root hypergraph);
+  // `depth` counts recursion levels from the root call (telemetry only).
+  void Build(BlockId q, std::vector<NodeId> nodes, std::size_t depth = 1) {
+    c_max_depth.Add(depth);
     const double s = SetSize(hg_, nodes);
     // Descend a single-child chain while the whole set fits in one child,
     // so every leaf ends up at level 0 (Algorithm 3 step 2: the effective
@@ -64,7 +84,8 @@ class Builder {
         // Final child takes everything still here; an over-capacity final
         // child means the instance (or a carve fallback) was infeasible and
         // is caught by validation.
-        Build(tp_.AddChild(q), std::move(remaining));
+        c_blocks.Add();
+        Build(tp_.AddChild(q), std::move(remaining), depth + 1);
         ++children;
         break;
       }
@@ -83,6 +104,8 @@ class Builder {
       for (NetId e = 0; e < sub.hg.num_nets(); ++e)
         sub_metric[e] = metric_[sub.net_to_parent[e]];
 
+      c_carves.Add();
+      CarvesAtLevel(l).Add();
       const CarveResult cut =
           carve_(sub.hg, sub_metric, std::min(lb_eff, ub), ub, rng_);
       HTP_CHECK_MSG(!cut.nodes.empty(), "carver returned an empty block");
@@ -99,7 +122,8 @@ class Builder {
       for (NodeId local = 0; local < sub.hg.num_nodes(); ++local)
         if (!taken[local]) rest.push_back(sub.node_to_parent[local]);
 
-      Build(tp_.AddChild(q), std::move(carved));
+      c_blocks.Add();
+      Build(tp_.AddChild(q), std::move(carved), depth + 1);
       ++children;
       remaining = std::move(rest);
     }
@@ -123,6 +147,8 @@ TreePartition BuildPartitionTopDown(const Hypergraph& hg,
                                     const SpreadingMetric& metric,
                                     const CarveFn& carve, Rng& rng) {
   HTP_CHECK(hg.num_nodes() > 0);
+  obs::PhaseScope obs_span(t_build);
+  c_builds.Add();
   TreePartition tp(hg, spec.LevelForSize(hg.total_size()));
   std::vector<NodeId> all(hg.num_nodes());
   for (NodeId v = 0; v < hg.num_nodes(); ++v) all[v] = v;

@@ -3,8 +3,16 @@
 #include <limits>
 #include <queue>
 
+#include "obs/obs.hpp"
+
 namespace htp {
 namespace {
+
+obs::Counter c_calls("carve.find_cut.calls");
+obs::Counter c_in_window("carve.find_cut.in_window");
+obs::Counter c_prefix_nodes("carve.find_cut.prefix_nodes");
+obs::Counter c_grown_nodes("carve.find_cut.grown_nodes");
+obs::Timer t_find_cut("carve.find_cut");
 
 // Ties on d(e) are frequent (the flow-injected metric takes few distinct
 // values). Ties are broken by *attraction* — the total capacity of nets
@@ -34,6 +42,7 @@ CarveResult MetricFindCut(const Hypergraph& hg,
   HTP_CHECK(net_length.size() == hg.num_nets());
   HTP_CHECK(hg.num_nodes() > 0);
   HTP_CHECK(lb <= ub && ub > 0.0);
+  obs::ScopedTimer obs_timer(t_find_cut);
 
   const NodeId n = hg.num_nodes();
   std::vector<std::uint64_t> rank(n);
@@ -132,6 +141,10 @@ CarveResult MetricFindCut(const Hypergraph& hg,
   for (NetId e = 0; e < hg.num_nets(); ++e)
     if (inside[e] > 0 && inside[e] < hg.net_degree(e))
       result.cut_value += hg.net_capacity(e);
+  c_calls.Add();
+  if (result.in_window) c_in_window.Add();
+  c_prefix_nodes.Add(take);
+  c_grown_nodes.Add(order.size());
   return result;
 }
 

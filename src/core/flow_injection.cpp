@@ -4,8 +4,23 @@
 #include <cmath>
 
 #include "netlist/rng.hpp"
+#include "obs/obs.hpp"
 
 namespace htp {
+namespace {
+
+// Algorithm 2 telemetry. Totals are schedule-independent (each metric
+// computation is a deterministic function of its pre-forked seed), so they
+// share the `threads`-invariance guarantee of the FLOW driver.
+obs::Counter c_metrics("flow.metrics");
+obs::Counter c_rounds("flow.rounds");
+obs::Counter c_injections("flow.injections");
+obs::Counter c_flooded_nets("flow.flooded_nets");
+obs::Counter c_violated_tree_nodes("flow.violated_tree_nodes");
+obs::Counter c_converged("flow.converged");
+obs::Timer t_compute_metric("flow.compute_metric");
+
+}  // namespace
 
 FlowInjectionResult ComputeSpreadingMetric(const Hypergraph& hg,
                                            const HierarchySpec& spec,
@@ -14,6 +29,8 @@ FlowInjectionResult ComputeSpreadingMetric(const Hypergraph& hg,
   HTP_CHECK(params.alpha > 0.0);
   HTP_CHECK(params.delta > 0.0);
   Rng rng(params.seed);
+  obs::PhaseScope obs_span(t_compute_metric);
+  std::uint64_t flooded_nets = 0, violated_tree_nodes = 0;
 
   FlowInjectionResult result;
   result.flow.assign(hg.num_nets(), params.epsilon);
@@ -45,6 +62,8 @@ FlowInjectionResult ComputeSpreadingMetric(const Hypergraph& hg,
         update_length(e);
       }
       ++result.injections;
+      flooded_nets += nets.size();
+      violated_tree_nodes += violation->tree_nodes;
       // A tree with no nets (k == 1 with a single oversized node) can never
       // be repaired by injection; drop the node to guarantee progress.
       if (!nets.empty()) still_violated.push_back(v);
@@ -54,6 +73,12 @@ FlowInjectionResult ComputeSpreadingMetric(const Hypergraph& hg,
 
   result.converged = worklist.empty();
   result.metric_cost = MetricCost(hg, result.metric);
+  c_metrics.Add();
+  c_rounds.Add(result.rounds);
+  c_injections.Add(result.injections);
+  c_flooded_nets.Add(flooded_nets);
+  c_violated_tree_nodes.Add(violated_tree_nodes);
+  if (result.converged) c_converged.Add();
   return result;
 }
 
@@ -64,6 +89,8 @@ FlowInjectionResult ComputePairPathSpreadingMetric(
   HTP_CHECK(params.alpha > 0.0);
   HTP_CHECK(params.delta > 0.0);
   Rng rng(params.seed);
+  obs::PhaseScope obs_span(t_compute_metric);
+  std::uint64_t flooded_nets = 0;
 
   FlowInjectionResult result;
   result.flow.assign(hg.num_nets(), params.epsilon);
@@ -96,6 +123,7 @@ FlowInjectionResult ComputePairPathSpreadingMetric(
         if (e == kInvalidNet) break;
         result.flow[e] += params.delta;
         update_length(e);
+        ++flooded_nets;
       }
       ++result.injections;
       still_violated.push_back(v);
@@ -105,6 +133,11 @@ FlowInjectionResult ComputePairPathSpreadingMetric(
 
   result.converged = worklist.empty();
   result.metric_cost = MetricCost(hg, result.metric);
+  c_metrics.Add();
+  c_rounds.Add(result.rounds);
+  c_injections.Add(result.injections);
+  c_flooded_nets.Add(flooded_nets);
+  if (result.converged) c_converged.Add();
   return result;
 }
 

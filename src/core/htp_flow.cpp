@@ -3,10 +3,20 @@
 #include <chrono>
 
 #include "core/mst_carver.hpp"
+#include "obs/obs.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace htp {
 namespace {
+
+// Algorithm-1 driver telemetry. Each iteration span lands on the lane of
+// whichever pool thread ran it, tagged with the iteration index.
+obs::Counter c_runs("driver.runs");
+obs::Counter c_iterations("driver.iterations");
+obs::Counter c_carve_attempts("carve.attempts");
+obs::Timer t_run("driver.run");
+obs::Timer t_iteration("driver.iteration");
+obs::Timer t_construct("driver.construct");
 
 // Wraps a carve in best-of-`attempts` restarts (in-window results strictly
 // dominate out-of-window ones).
@@ -15,6 +25,7 @@ CarveResult BestOfCarves(const Hypergraph& hg,
                          Rng& rng, std::size_t attempts, CarverKind carver) {
   CarveResult best;
   bool have = false;
+  c_carve_attempts.Add(attempts);
   for (std::size_t t = 0; t < attempts; ++t) {
     CarveResult cut = carver == CarverKind::kMstSplit
                           ? MstSplitCarve(hg, metric, lb, ub, rng)
@@ -90,6 +101,7 @@ IterationOutcome RunIteration(const Hypergraph& hg, const HierarchySpec& spec,
   };
 
   for (std::size_t c = 0; c < params.constructions_per_metric; ++c) {
+    obs::PhaseScope construct_span(t_construct, "construction", c);
     TreePartition tp = BuildPartitionTopDown(hg, spec, metric.metric, carve,
                                              streams.construct_rng);
     const double cost = PartitionCost(tp, spec);
@@ -114,6 +126,9 @@ HtpFlowResult RunHtpFlow(const Hypergraph& hg, const HierarchySpec& spec,
   HTP_CHECK(params.iterations >= 1);
   HTP_CHECK(params.constructions_per_metric >= 1);
   HTP_CHECK(params.carve_attempts >= 1);
+  obs::PhaseScope run_span(t_run);
+  c_runs.Add();
+  c_iterations.Add(params.iterations);
   Rng master(params.seed);
 
   std::vector<IterationStreams> streams;
@@ -130,6 +145,8 @@ HtpFlowResult RunHtpFlow(const Hypergraph& hg, const HierarchySpec& spec,
   // propagate from the lowest failing iteration regardless of thread count.
   std::vector<IterationOutcome> outcomes(params.iterations);
   ParallelFor(params.threads, params.iterations, [&](std::size_t iter) {
+    // The span lands on the lane of whichever worker ran this iteration.
+    obs::PhaseScope iteration_span(t_iteration, "iter", iter);
     outcomes[iter] = RunIteration(hg, spec, params, streams[iter]);
   });
 

@@ -4,8 +4,16 @@
 #include <limits>
 #include <queue>
 
+#include "obs/obs.hpp"
+
 namespace htp {
 namespace {
+
+obs::Counter c_calls("carve.mst_split.calls");
+obs::Counter c_in_window("carve.mst_split.in_window");
+obs::Counter c_candidates("carve.mst_split.candidates");
+obs::Counter c_fallbacks("carve.mst_split.fallbacks");
+obs::Timer t_mst_split("carve.mst_split");
 
 struct QueueEntry {
   double key;
@@ -98,6 +106,8 @@ CarveResult MstSplitCarve(const Hypergraph& hg,
                           double ub, Rng& rng) {
   HTP_CHECK(net_length.size() == hg.num_nets());
   HTP_CHECK(hg.num_nodes() > 0);
+  obs::ScopedTimer obs_timer(t_mst_split);
+  c_calls.Add();
   const NodeId n = hg.num_nodes();
   const Forest forest = GrowForest(hg, net_length, rng);
 
@@ -124,6 +134,7 @@ CarveResult MstSplitCarve(const Hypergraph& hg,
     rng.shuffle(candidates);
     candidates.resize(kMaxEvaluations);
   }
+  c_candidates.Add(candidates.size());
 
   CarveResult best;
   std::vector<std::size_t> inside(hg.num_nets(), 0);
@@ -146,9 +157,13 @@ CarveResult MstSplitCarve(const Hypergraph& hg,
       best.in_window = true;
     }
   }
-  if (best.in_window) return best;
+  if (best.in_window) {
+    c_in_window.Add();
+    return best;
+  }
   // No 1-respecting subtree hits the window (e.g. star topologies): fall
   // back to the prefix-growth carver.
+  c_fallbacks.Add();
   return MetricFindCut(hg, net_length, lb, ub, rng);
 }
 

@@ -3,8 +3,15 @@
 #include <algorithm>
 #include <queue>
 
+#include "obs/obs.hpp"
+
 namespace htp {
 namespace {
+
+obs::Counter c_calls("dijkstra.calls");
+obs::Counter c_settled("dijkstra.settled");
+obs::Counter c_pops("dijkstra.pops");
+obs::Counter c_relaxations("dijkstra.relaxations");
 
 struct QueueEntry {
   double dist;
@@ -41,10 +48,13 @@ ShortestPathTree GrowShortestPathTree(
 
   double tree_size = 0.0;
   double weighted_dist = 0.0;
+  // Batched per call: one shard add each at exit instead of one per pop.
+  std::uint64_t pops = 0, relaxations = 0;
 
   while (!queue.empty()) {
     const QueueEntry top = queue.top();
     queue.pop();
+    ++pops;
     const NodeId u = top.node;
     if (tree.settled(u) || top.dist > tentative[u]) continue;  // stale entry
 
@@ -67,9 +77,14 @@ ShortestPathTree GrowShortestPathTree(
         tree.parent_net[x] = e;
         tree.parent_node[x] = u;
         queue.push({cand, x});
+        ++relaxations;
       }
     }
   }
+  c_calls.Add();
+  c_settled.Add(tree.order.size());
+  c_pops.Add(pops);
+  c_relaxations.Add(relaxations);
   return tree;
 }
 

@@ -1,0 +1,276 @@
+#include "obs/obs.hpp"
+
+#if HTP_OBS_ENABLED
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <limits>
+#include <mutex>
+
+namespace htp::obs {
+namespace {
+
+std::uint64_t NowNs() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch)
+          .count());
+}
+
+std::atomic<bool> g_tracing{false};
+
+struct TimerCell {
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+  std::uint64_t min_ns = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t max_ns = 0;
+
+  void Record(std::uint64_t dur_ns) {
+    ++count;
+    total_ns += dur_ns;
+    min_ns = std::min(min_ns, dur_ns);
+    max_ns = std::max(max_ns, dur_ns);
+  }
+  void MergeFrom(const TimerCell& other) {
+    count += other.count;
+    total_ns += other.total_ns;
+    min_ns = std::min(min_ns, other.min_ns);
+    max_ns = std::max(max_ns, other.max_ns);
+  }
+};
+
+// A span as recorded on the hot path: timer id + literal arg key, resolved
+// to strings only when drained.
+struct RawEvent {
+  std::uint32_t timer_id;
+  std::uint32_t tid;
+  const char* arg_key;
+  std::uint64_t arg_value;
+  std::uint64_t ts_ns;
+  std::uint64_t dur_ns;
+};
+
+struct ThreadShard;
+
+// Process-wide registry: interned names (written only during static
+// initialization of the instrumentation sites, i.e. single-threaded) plus
+// the merged totals of every exited thread. All mutation of the merged
+// state is serialized by `mutex_`; live shards are touched only by their
+// owning thread.
+class Registry {
+ public:
+  static Registry& Get() {
+    static Registry registry;
+    return registry;
+  }
+
+  std::uint32_t InternCounter(const char* name, CounterKind kind) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    counter_names_.emplace_back(name);
+    counter_kinds_.push_back(kind);
+    counter_totals_.push_back(0);
+    return static_cast<std::uint32_t>(counter_names_.size() - 1);
+  }
+
+  std::uint32_t InternTimer(const char* name) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    timer_names_.emplace_back(name);
+    timer_totals_.emplace_back();
+    return static_cast<std::uint32_t>(timer_names_.size() - 1);
+  }
+
+  std::uint32_t AssignTid() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return next_tid_++;
+  }
+
+  void Merge(ThreadShard& shard);
+  Snapshot TakeSnapshot(const ThreadShard& local);
+  std::vector<TraceEvent> DrainTrace(ThreadShard& local);
+  void Reset(ThreadShard& local);
+
+ private:
+  void MergeCountersLocked(const std::vector<std::uint64_t>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (counter_kinds_[i] == CounterKind::kSum)
+        counter_totals_[i] += cells[i];
+      else
+        counter_totals_[i] = std::max(counter_totals_[i], cells[i]);
+    }
+  }
+  void MergeTimersLocked(const std::vector<TimerCell>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i)
+      if (cells[i].count > 0) timer_totals_[i].MergeFrom(cells[i]);
+  }
+  TraceEvent Resolve(const RawEvent& raw) const {
+    return TraceEvent{timer_names_[raw.timer_id],
+                      raw.arg_key ? raw.arg_key : "",
+                      raw.arg_value,
+                      raw.ts_ns,
+                      raw.dur_ns,
+                      raw.tid};
+  }
+
+  std::mutex mutex_;
+  std::vector<std::string> counter_names_;
+  std::vector<CounterKind> counter_kinds_;
+  std::vector<std::uint64_t> counter_totals_;
+  std::vector<std::string> timer_names_;
+  std::vector<TimerCell> timer_totals_;
+  std::vector<RawEvent> events_;
+  std::uint32_t next_tid_ = 0;
+};
+
+// Per-thread cells, indexed by interned id and grown on demand. Touched
+// without synchronization by the owning thread only; merged into the
+// registry exactly once, when the thread exits (thread_local destruction).
+// ParallelFor joins its transient workers before returning, so fork-join
+// boundaries imply merged shards.
+struct ThreadShard {
+  std::vector<std::uint64_t> counters;
+  std::vector<TimerCell> timers;
+  std::vector<RawEvent> events;
+  std::uint32_t tid;
+
+  ThreadShard() : tid(Registry::Get().AssignTid()) {}
+  ~ThreadShard() { Registry::Get().Merge(*this); }
+};
+
+ThreadShard& Shard() {
+  thread_local ThreadShard shard;
+  return shard;
+}
+
+void Registry::Merge(ThreadShard& shard) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MergeCountersLocked(shard.counters);
+  MergeTimersLocked(shard.timers);
+  events_.insert(events_.end(), shard.events.begin(), shard.events.end());
+  shard.counters.clear();
+  shard.timers.clear();
+  shard.events.clear();
+}
+
+Snapshot Registry::TakeSnapshot(const ThreadShard& local) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Merged totals overlaid with the calling thread's live cells.
+  std::vector<std::uint64_t> counters = counter_totals_;
+  for (std::size_t i = 0; i < local.counters.size(); ++i) {
+    if (counter_kinds_[i] == CounterKind::kSum)
+      counters[i] += local.counters[i];
+    else
+      counters[i] = std::max(counters[i], local.counters[i]);
+  }
+  std::vector<TimerCell> timers = timer_totals_;
+  for (std::size_t i = 0; i < local.timers.size(); ++i)
+    if (local.timers[i].count > 0) timers[i].MergeFrom(local.timers[i]);
+
+  Snapshot snap;
+  snap.counters.reserve(counters.size());
+  for (std::size_t i = 0; i < counters.size(); ++i)
+    snap.counters.push_back(
+        CounterValue{counter_names_[i], counter_kinds_[i], counters[i]});
+  snap.timers.reserve(timers.size());
+  for (std::size_t i = 0; i < timers.size(); ++i) {
+    const TimerCell& cell = timers[i];
+    snap.timers.push_back(TimerValue{timer_names_[i], cell.count,
+                                     cell.total_ns,
+                                     cell.count ? cell.min_ns : 0,
+                                     cell.max_ns});
+  }
+  std::sort(snap.counters.begin(), snap.counters.end(),
+            [](const CounterValue& a, const CounterValue& b) {
+              return a.name < b.name;
+            });
+  std::sort(snap.timers.begin(), snap.timers.end(),
+            [](const TimerValue& a, const TimerValue& b) {
+              return a.name < b.name;
+            });
+  return snap;
+}
+
+std::vector<TraceEvent> Registry::DrainTrace(ThreadShard& local) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TraceEvent> out;
+  out.reserve(events_.size() + local.events.size());
+  for (const RawEvent& raw : events_) out.push_back(Resolve(raw));
+  for (const RawEvent& raw : local.events) out.push_back(Resolve(raw));
+  events_.clear();
+  local.events.clear();
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.tid != b.tid ? a.tid < b.tid : a.ts_ns < b.ts_ns;
+            });
+  return out;
+}
+
+void Registry::Reset(ThreadShard& local) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::fill(counter_totals_.begin(), counter_totals_.end(), 0);
+  std::fill(timer_totals_.begin(), timer_totals_.end(), TimerCell{});
+  events_.clear();
+  local.counters.clear();
+  local.timers.clear();
+  local.events.clear();
+}
+
+void RecordTimer(std::uint32_t id, std::uint64_t dur_ns) {
+  ThreadShard& shard = Shard();
+  if (shard.timers.size() <= id) shard.timers.resize(id + 1);
+  shard.timers[id].Record(dur_ns);
+}
+
+}  // namespace
+
+Counter::Counter(const char* name, CounterKind kind)
+    : id_(Registry::Get().InternCounter(name, kind)), kind_(kind) {}
+
+void Counter::Add(std::uint64_t n) {
+  ThreadShard& shard = Shard();
+  if (shard.counters.size() <= id_) shard.counters.resize(id_ + 1, 0);
+  if (kind_ == CounterKind::kSum)
+    shard.counters[id_] += n;
+  else
+    shard.counters[id_] = std::max(shard.counters[id_], n);
+}
+
+Timer::Timer(const char* name) : id_(Registry::Get().InternTimer(name)) {}
+
+ScopedTimer::ScopedTimer(const Timer& timer)
+    : id_(timer.id()), start_ns_(NowNs()) {}
+
+ScopedTimer::~ScopedTimer() { RecordTimer(id_, NowNs() - start_ns_); }
+
+PhaseScope::PhaseScope(const Timer& timer, const char* arg_key,
+                       std::uint64_t arg_value)
+    : id_(timer.id()), start_ns_(NowNs()), arg_key_(arg_key),
+      arg_value_(arg_value) {}
+
+PhaseScope::~PhaseScope() {
+  const std::uint64_t end_ns = NowNs();
+  RecordTimer(id_, end_ns - start_ns_);
+  if (!g_tracing.load(std::memory_order_relaxed)) return;
+  ThreadShard& shard = Shard();
+  shard.events.push_back(RawEvent{id_, shard.tid, arg_key_, arg_value_,
+                                  start_ns_, end_ns - start_ns_});
+}
+
+void SetTracing(bool enabled) {
+  g_tracing.store(enabled, std::memory_order_relaxed);
+}
+
+bool TracingEnabled() { return g_tracing.load(std::memory_order_relaxed); }
+
+Snapshot TakeSnapshot() { return Registry::Get().TakeSnapshot(Shard()); }
+
+std::vector<TraceEvent> DrainTrace() {
+  return Registry::Get().DrainTrace(Shard());
+}
+
+void ResetAll() { Registry::Get().Reset(Shard()); }
+
+}  // namespace htp::obs
+
+#endif  // HTP_OBS_ENABLED

@@ -1,0 +1,195 @@
+// htp-obs: zero-overhead-when-off telemetry (counters, timers, trace spans).
+//
+// The paper's evaluation is all per-phase numbers — injections per metric,
+// worklist rounds, carve attempts, FM pass gains — so the pipeline records
+// them through this layer instead of every bench re-deriving wall clocks.
+//
+// Model:
+//   * `Counter` — a named monotonic value. Kind kSum accumulates, kind kMax
+//     keeps the maximum recorded value (e.g. recursion depth). Counter
+//     handles intern their name once (at static initialization) and then
+//     increment a plain cell in a thread-local shard: no locks, no atomics
+//     on the hot path.
+//   * `Timer` + RAII `ScopedTimer` / `PhaseScope` — duration histograms
+//     (count / total / min / max, in ns). `PhaseScope` additionally emits a
+//     Chrome trace_event span (one lane per thread) while tracing is on.
+//   * Thread-local shards merge into the global registry when their thread
+//     exits. The runtime's `ParallelFor` uses transient pools whose workers
+//     join at the fork-join boundary, so by the time a caller of
+//     `RunHtpFlow` can observe anything, every worker shard has merged.
+//     Integer sums and maxes are order-independent, which extends the
+//     `threads`-invariance guarantee to counter totals; timers measure real
+//     durations and are excluded from that guarantee (like
+//     `HtpFlowIteration::wall_seconds`).
+//
+// Naming scheme (see docs/observability.md): dotted `subsystem.metric`
+// paths — `flow.*` (Algorithm 2), `dijkstra.*`, `carve.*` (find_cut / MST
+// split), `build.*` (Algorithm 3), `fm.*` (refiner), `driver.*`
+// (Algorithm 1 phase spans).
+//
+// Compiled with HTP_OBS_ENABLED=0 (CMake -DHTP_OBS_ENABLED=OFF) every type
+// here is an empty inline no-op and the instrumentation vanishes entirely.
+#pragma once
+
+#ifndef HTP_OBS_ENABLED
+#error "obs/obs.hpp requires the HTP_OBS_ENABLED define; link against htp_obs"
+#endif
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace htp::obs {
+
+/// How a counter merges: accumulate or keep the maximum.
+enum class CounterKind : std::uint8_t { kSum, kMax };
+
+/// One counter in a snapshot.
+struct CounterValue {
+  std::string name;
+  CounterKind kind = CounterKind::kSum;
+  std::uint64_t value = 0;
+};
+
+/// One timer in a snapshot. All durations in nanoseconds.
+struct TimerValue {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+  std::uint64_t min_ns = 0;
+  std::uint64_t max_ns = 0;
+};
+
+/// Deterministic totals (counters) + duration histograms (timers), both
+/// sorted by name. Interned-but-never-recorded entries appear with zeros,
+/// so a report always covers every instrumented subsystem.
+struct Snapshot {
+  std::vector<CounterValue> counters;
+  std::vector<TimerValue> timers;
+};
+
+/// One completed phase span, resolved for the sinks. Timestamps are ns
+/// since the process-wide epoch; `tid` is a small stable per-thread lane id
+/// (assignment order is scheduling-dependent — traces are diagnostics, not
+/// part of the determinism guarantee).
+struct TraceEvent {
+  std::string name;
+  std::string arg_key;  ///< empty when the span carries no argument
+  std::uint64_t arg_value = 0;
+  std::uint64_t ts_ns = 0;
+  std::uint64_t dur_ns = 0;
+  std::uint32_t tid = 0;
+};
+
+#if HTP_OBS_ENABLED
+
+/// Named monotonic counter. Construct once (namespace-scope static at the
+/// instrumentation site); `Add` is cheap enough for per-call use — batch
+/// per-element quantities in a local and add once per call.
+class Counter {
+ public:
+  explicit Counter(const char* name, CounterKind kind = CounterKind::kSum);
+  void Add(std::uint64_t n = 1);
+
+ private:
+  std::uint32_t id_;
+  CounterKind kind_;
+};
+
+/// Named duration histogram; recorded through ScopedTimer / PhaseScope.
+class Timer {
+ public:
+  explicit Timer(const char* name);
+  std::uint32_t id() const { return id_; }
+
+ private:
+  std::uint32_t id_;
+};
+
+/// Records the lifetime of the scope into `timer`. No trace event.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(const Timer& timer);
+  ~ScopedTimer();
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  std::uint32_t id_;
+  std::uint64_t start_ns_;
+};
+
+/// ScopedTimer that additionally emits a trace span (named after the timer,
+/// on this thread's lane) while tracing is enabled. The optional argument
+/// tags the span, e.g. {"iter": 3}; `arg_key` must be a string literal.
+class PhaseScope {
+ public:
+  explicit PhaseScope(const Timer& timer, const char* arg_key = nullptr,
+                      std::uint64_t arg_value = 0);
+  ~PhaseScope();
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+ private:
+  std::uint32_t id_;
+  std::uint64_t start_ns_;
+  const char* arg_key_;
+  std::uint64_t arg_value_;
+};
+
+/// Turns trace-span collection on/off (off by default; counters and timers
+/// are always recorded when obs is compiled in).
+void SetTracing(bool enabled);
+bool TracingEnabled();
+
+/// Merged totals from every exited thread plus the calling thread's own
+/// live shard. Call from a quiescent point (no instrumented worker threads
+/// running) for complete numbers; RunHtpFlow joins its workers before
+/// returning, so "after it returns" is always quiescent.
+Snapshot TakeSnapshot();
+
+/// Moves out every collected trace span (merged shards + calling thread).
+std::vector<TraceEvent> DrainTrace();
+
+/// Zeroes all counters/timers and discards pending trace spans, including
+/// the calling thread's shard. Quiescent points only (benches use this to
+/// scope totals per circuit).
+void ResetAll();
+
+#else  // HTP_OBS_ENABLED == 0: the whole layer compiles to nothing.
+
+class Counter {
+ public:
+  explicit Counter(const char*, CounterKind = CounterKind::kSum) {}
+  void Add(std::uint64_t = 1) {}
+};
+
+class Timer {
+ public:
+  explicit Timer(const char*) {}
+};
+
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(const Timer&) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+};
+
+class PhaseScope {
+ public:
+  explicit PhaseScope(const Timer&, const char* = nullptr,
+                      std::uint64_t = 0) {}
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+};
+
+inline void SetTracing(bool) {}
+inline bool TracingEnabled() { return false; }
+inline Snapshot TakeSnapshot() { return {}; }
+inline std::vector<TraceEvent> DrainTrace() { return {}; }
+inline void ResetAll() {}
+
+#endif  // HTP_OBS_ENABLED
+
+}  // namespace htp::obs

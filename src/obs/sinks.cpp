@@ -1,0 +1,131 @@
+#include "obs/sinks.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <set>
+
+namespace htp::obs {
+namespace {
+
+// Counter/timer names and arg keys are C++ identifiers-with-dots chosen by
+// the instrumentation sites; escaping still guards against a stray quote or
+// backslash ever reaching a sink.
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string FormatMs(std::uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f", static_cast<double>(ns) / 1e6);
+  return buf;
+}
+
+}  // namespace
+
+std::string RenderStatsReport(const Snapshot& snapshot) {
+  std::string out;
+  char line[256];
+  out += "=== htp-obs stats ===\n";
+  std::snprintf(line, sizeof line, "%-36s %6s %14s\n", "counter", "kind",
+                "value");
+  out += line;
+  for (const CounterValue& c : snapshot.counters) {
+    std::snprintf(line, sizeof line, "%-36s %6s %14llu\n", c.name.c_str(),
+                  c.kind == CounterKind::kSum ? "sum" : "max",
+                  static_cast<unsigned long long>(c.value));
+    out += line;
+  }
+  std::snprintf(line, sizeof line, "%-36s %10s %12s %12s %12s %12s\n",
+                "timer", "count", "total(ms)", "mean(ms)", "min(ms)",
+                "max(ms)");
+  out += line;
+  for (const TimerValue& t : snapshot.timers) {
+    const double mean_ns =
+        t.count ? static_cast<double>(t.total_ns) / static_cast<double>(t.count)
+                : 0.0;
+    std::snprintf(line, sizeof line, "%-36s %10llu %12s %12s %12s %12s\n",
+                  t.name.c_str(), static_cast<unsigned long long>(t.count),
+                  FormatMs(t.total_ns).c_str(),
+                  FormatMs(static_cast<std::uint64_t>(mean_ns)).c_str(),
+                  FormatMs(t.min_ns).c_str(), FormatMs(t.max_ns).c_str());
+    out += line;
+  }
+  return out;
+}
+
+void WriteChromeTrace(std::ostream& os,
+                      const std::vector<TraceEvent>& events) {
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << ",";
+    first = false;
+    os << "\n";
+  };
+  // One metadata event per lane so chrome://tracing / Perfetto label the
+  // rows; lane ids are assigned in first-touch order, so they are stable
+  // within a run but not across runs.
+  std::set<std::uint32_t> tids;
+  for (const TraceEvent& e : events) tids.insert(e.tid);
+  for (std::uint32_t tid : tids) {
+    sep();
+    os << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+       << ",\"name\":\"thread_name\",\"args\":{\"name\":\"htp-thread-" << tid
+       << "\"}}";
+  }
+  char num[32];
+  for (const TraceEvent& e : events) {
+    sep();
+    std::snprintf(num, sizeof num, "%.3f",
+                  static_cast<double>(e.ts_ns) / 1e3);
+    os << "{\"ph\":\"X\",\"pid\":1,\"tid\":" << e.tid << ",\"ts\":" << num;
+    std::snprintf(num, sizeof num, "%.3f",
+                  static_cast<double>(e.dur_ns) / 1e3);
+    os << ",\"dur\":" << num << ",\"cat\":\"htp\",\"name\":\""
+       << JsonEscape(e.name) << "\"";
+    if (!e.arg_key.empty())
+      os << ",\"args\":{\"" << JsonEscape(e.arg_key)
+         << "\":" << e.arg_value << "}";
+    os << "}";
+  }
+  os << "\n]}\n";
+}
+
+void WriteJsonlSnapshot(std::ostream& os, const Snapshot& snapshot,
+                        std::string_view bench, std::string_view scope) {
+  const std::string prefix = "{\"bench\":\"" + JsonEscape(bench) +
+                             "\",\"scope\":\"" + JsonEscape(scope) + "\"";
+  for (const CounterValue& c : snapshot.counters) {
+    os << prefix << ",\"type\":\"counter\",\"name\":\"" << JsonEscape(c.name)
+       << "\",\"kind\":\""
+       << (c.kind == CounterKind::kSum ? "sum" : "max")
+       << "\",\"value\":" << c.value << "}\n";
+  }
+  for (const TimerValue& t : snapshot.timers) {
+    if (t.count == 0) continue;  // unrecorded timers carry no information
+    os << prefix << ",\"type\":\"timer\",\"name\":\"" << JsonEscape(t.name)
+       << "\",\"count\":" << t.count << ",\"total_ns\":" << t.total_ns
+       << ",\"min_ns\":" << t.min_ns << ",\"max_ns\":" << t.max_ns << "}\n";
+  }
+}
+
+}  // namespace htp::obs

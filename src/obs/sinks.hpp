@@ -1,0 +1,43 @@
+// Output sinks for the telemetry layer (obs/obs.hpp):
+//   * RenderStatsReport  — human-readable aligned table of a Snapshot,
+//   * WriteChromeTrace   — Chrome trace_event JSON ("X" complete events,
+//                          one lane per thread) for chrome://tracing /
+//                          Perfetto,
+//   * WriteJsonlSnapshot — one JSON object per line per metric, the
+//                          machine-readable stream the benches emit.
+//
+// The sinks operate on plain Snapshot / TraceEvent data, so they compile
+// identically with HTP_OBS_ENABLED=OFF (where every snapshot is empty).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/obs.hpp"
+
+namespace htp::obs {
+
+/// Aligned text report: all counters, then all timers (ms). Zero-valued
+/// entries are kept so the report always names every instrumented
+/// subsystem.
+std::string RenderStatsReport(const Snapshot& snapshot);
+
+/// Chrome trace_event JSON: {"traceEvents":[...]} with one "X" (complete)
+/// event per span plus thread_name metadata naming each lane. Timestamps
+/// are microseconds since the obs epoch. Loads in chrome://tracing and
+/// https://ui.perfetto.dev.
+void WriteChromeTrace(std::ostream& os, const std::vector<TraceEvent>& events);
+
+/// JSONL: one line per counter
+///   {"bench":B,"scope":S,"type":"counter","name":N,"kind":"sum","value":V}
+/// and per recorded timer
+///   {"bench":B,"scope":S,"type":"timer","name":N,"count":C,
+///    "total_ns":T,"min_ns":m,"max_ns":M}
+/// `bench` and `scope` let concatenated streams from several runs stay
+/// self-describing (e.g. bench name / circuit name).
+void WriteJsonlSnapshot(std::ostream& os, const Snapshot& snapshot,
+                        std::string_view bench, std::string_view scope);
+
+}  // namespace htp::obs

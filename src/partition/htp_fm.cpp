@@ -1,13 +1,25 @@
 #include "partition/htp_fm.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <optional>
 #include <queue>
 
+#include "obs/obs.hpp"
 #include "partition/move_oracle.hpp"
 
 namespace htp {
 namespace {
+
+obs::Counter c_refines("fm.refines");
+obs::Counter c_passes("fm.passes");
+obs::Counter c_moves_applied("fm.moves_applied");
+obs::Counter c_moves_kept("fm.moves_kept");
+// Accepted (best-prefix) gain, in cost milli-units: gains are deterministic
+// doubles, rounded once here so the counter stays an exact integer total.
+obs::Counter c_gain_milli("fm.accepted_gain_milli");
+obs::Timer t_refine("fm.refine");
+obs::Timer t_pass("fm.pass");
 
 struct HeapEntry {
   double gain;
@@ -103,6 +115,10 @@ class Refiner {
     for (std::size_t i = log.size(); i > best_len; --i)
       oracle_.Apply(log[i - 1].first, log[i - 1].second);
     moves_kept += best_len;
+    c_moves_applied.Add(log.size());
+    c_moves_kept.Add(best_len);
+    c_gain_milli.Add(
+        static_cast<std::uint64_t>(std::llround(best_cum * 1000.0)));
     return best_cum;
   }
 
@@ -120,12 +136,16 @@ class Refiner {
 HtpFmStats RefineHtpFm(TreePartition& tp, const HierarchySpec& spec,
                        const HtpFmParams& params) {
   HTP_CHECK_MSG(tp.fully_assigned(), "refiner needs a complete partition");
+  obs::PhaseScope obs_span(t_refine);
+  c_refines.Add();
   HtpFmStats stats;
   stats.initial_cost = PartitionCost(tp, spec);
   Refiner refiner(tp, spec);
   double cost = stats.initial_cost;
   for (std::size_t pass = 0; pass < params.max_passes; ++pass) {
     ++stats.passes;
+    c_passes.Add();
+    obs::PhaseScope pass_span(t_pass, "pass", pass);
     const double gain =
         refiner.Pass(params.early_stop_window, stats.moves_kept);
     cost -= gain;

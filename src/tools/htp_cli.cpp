@@ -8,11 +8,14 @@
 //   htp_cli --bench c880.bench --height 4 --algo flow --refine \
 //           --out c880.part
 //   htp_cli --circuit c2670 --height 3 --branching 2 --weights 1,4,16
+//   htp_cli --circuit c1355 --stats --trace c1355.trace.json
 //
-// Exit codes: 0 success, 2 bad usage, 1 runtime failure.
+// Exit codes: 0 success, 2 bad usage (including malformed numeric
+// arguments), 1 runtime failure.
 #include <cstdio>
 #include <fstream>
 #include <cstring>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -21,9 +24,12 @@
 #include "core/partition_io.hpp"
 #include "netlist/bench_parser.hpp"
 #include "netlist/generators.hpp"
+#include "obs/obs.hpp"
+#include "obs/sinks.hpp"
 #include "partition/gfm.hpp"
 #include "partition/htp_fm.hpp"
 #include "partition/rfm.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace {
 
@@ -50,7 +56,12 @@ void Usage(const char* argv0) {
                "  --out FILE         write the partition (default stdout "
                "summary only)\n"
                "  --dot FILE         write a Graphviz rendering of the "
-               "tree\n",
+               "tree\n"
+               "  --stats[=FILE]     print (or write) the telemetry stats "
+               "report\n"
+               "  --trace FILE       write a Chrome trace_event JSON of the "
+               "run\n"
+               "                     (open in chrome://tracing or Perfetto)\n",
                argv0);
 }
 
@@ -74,43 +85,72 @@ std::vector<double> ParseWeights(const std::string& csv) {
 int main(int argc, char** argv) {
   using namespace htp;
   std::string bench_file, circuit = "c1355", algo = "flow", out_file;
-  std::string dot_file;
+  std::string dot_file, trace_file, stats_file;
   std::string weights_csv;
+  std::vector<double> weights;
   Level height = 4;
   std::size_t branching = 2, iterations = 4, threads = 0;
   double slack = 0.10;
-  bool refine = false;
+  bool refine = false, stats = false;
   std::uint64_t seed = 1;
 
-  for (int i = 1; i < argc; ++i) {
-    auto arg = [&](const char* name) {
-      if (std::strcmp(argv[i], name) != 0) return false;
-      if (i + 1 >= argc) {
-        Usage(argv[0]);
-        std::exit(2);
+  // Bad usage — unknown flags, missing values, and malformed numbers alike
+  // (std::stoul and friends throw on garbage) — exits 2 with the usage
+  // message, as docs/file-formats.md promises.
+  try {
+    for (int i = 1; i < argc; ++i) {
+      auto arg = [&](const char* name) {
+        if (std::strcmp(argv[i], name) != 0) return false;
+        if (i + 1 >= argc) {
+          Usage(argv[0]);
+          std::exit(2);
+        }
+        return true;
+      };
+      if (arg("--bench")) bench_file = argv[++i];
+      else if (arg("--circuit")) circuit = argv[++i];
+      else if (arg("--algo")) algo = argv[++i];
+      else if (arg("--height")) height = static_cast<Level>(std::stoul(argv[++i]));
+      else if (arg("--branching")) branching = std::stoul(argv[++i]);
+      else if (arg("--slack")) slack = std::stod(argv[++i]);
+      else if (arg("--weights")) weights_csv = argv[++i];
+      else if (arg("--iterations")) iterations = std::stoul(argv[++i]);
+      else if (arg("--threads")) threads = std::stoul(argv[++i]);
+      else if (arg("--seed")) seed = std::stoull(argv[++i]);
+      else if (arg("--out")) out_file = argv[++i];
+      else if (arg("--dot")) dot_file = argv[++i];
+      else if (arg("--trace")) trace_file = argv[++i];
+      else if (std::strcmp(argv[i], "--stats") == 0) stats = true;
+      else if (std::strncmp(argv[i], "--stats=", 8) == 0) {
+        stats = true;
+        stats_file = argv[i] + 8;
       }
-      return true;
-    };
-    if (arg("--bench")) bench_file = argv[++i];
-    else if (arg("--circuit")) circuit = argv[++i];
-    else if (arg("--algo")) algo = argv[++i];
-    else if (arg("--height")) height = static_cast<Level>(std::stoul(argv[++i]));
-    else if (arg("--branching")) branching = std::stoul(argv[++i]);
-    else if (arg("--slack")) slack = std::stod(argv[++i]);
-    else if (arg("--weights")) weights_csv = argv[++i];
-    else if (arg("--iterations")) iterations = std::stoul(argv[++i]);
-    else if (arg("--threads")) threads = std::stoul(argv[++i]);
-    else if (arg("--seed")) seed = std::stoull(argv[++i]);
-    else if (arg("--out")) out_file = argv[++i];
-    else if (arg("--dot")) dot_file = argv[++i];
-    else if (std::strcmp(argv[i], "--refine") == 0) refine = true;
-    else if (std::strcmp(argv[i], "--help") == 0) { Usage(argv[0]); return 0; }
-    else {
-      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      else if (std::strcmp(argv[i], "--refine") == 0) refine = true;
+      else if (std::strcmp(argv[i], "--help") == 0) { Usage(argv[0]); return 0; }
+      else {
+        std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+        Usage(argv[0]);
+        return 2;
+      }
+    }
+    weights = weights_csv.empty() ? std::vector<double>(height, 1.0)
+                                  : ParseWeights(weights_csv);
+    if (weights.size() != height) {
+      std::fprintf(stderr, "error: --weights needs exactly --height values\n");
       Usage(argv[0]);
       return 2;
     }
+  } catch (const std::invalid_argument&) {
+    std::fprintf(stderr, "error: malformed numeric argument\n");
+    Usage(argv[0]);
+    return 2;
+  } catch (const std::out_of_range&) {
+    std::fprintf(stderr, "error: numeric argument out of range\n");
+    Usage(argv[0]);
+    return 2;
   }
+
+  if (!trace_file.empty()) obs::SetTracing(true);
 
   try {
     Hypergraph hg = bench_file.empty()
@@ -119,11 +159,6 @@ int main(int argc, char** argv) {
     std::printf("netlist: %u nodes, %u nets, %zu pins\n", hg.num_nodes(),
                 hg.num_nets(), hg.num_pins());
 
-    std::vector<double> weights =
-        weights_csv.empty() ? std::vector<double>(height, 1.0)
-                            : ParseWeights(weights_csv);
-    if (weights.size() != height)
-      throw Error("--weights needs exactly --height values");
     const HierarchySpec spec =
         UniformHierarchy(hg.total_size(), height, branching, slack, weights);
     std::printf("hierarchy: %s\n", spec.ToString().c_str());
@@ -135,6 +170,11 @@ int main(int argc, char** argv) {
       params.seed = seed;
       params.threads = threads;
       if (algo == "flow-mst") params.carver = CarverKind::kMstSplit;
+      // Self-describing runs: --threads 0 silently meant "all hardware
+      // threads", which made timings impossible to interpret after the
+      // fact; print the resolved worker count up front.
+      std::printf("flow: %zu iterations on %zu threads (--threads %zu)\n",
+                  iterations, ResolveThreadCount(threads), threads);
       tp = RunHtpFlow(hg, spec, params).partition;
     } else if (algo == "rfm") {
       tp = RunRfm(hg, spec, {16, seed});
@@ -163,6 +203,26 @@ int main(int argc, char** argv) {
       if (!dot) throw Error("cannot open for writing: " + dot_file);
       dot << PartitionToDot(tp, spec);
       std::printf("graphviz tree written to %s\n", dot_file.c_str());
+    }
+    if (!trace_file.empty()) {
+      std::ofstream trace(trace_file);
+      if (!trace) throw Error("cannot open for writing: " + trace_file);
+      obs::WriteChromeTrace(trace, obs::DrainTrace());
+      std::printf("chrome trace written to %s%s\n", trace_file.c_str(),
+                  obs::TracingEnabled()
+                      ? ""
+                      : " (empty: built with HTP_OBS_ENABLED=OFF)");
+    }
+    if (stats) {
+      const std::string report = obs::RenderStatsReport(obs::TakeSnapshot());
+      if (stats_file.empty()) {
+        std::fputs(report.c_str(), stdout);
+      } else {
+        std::ofstream out(stats_file);
+        if (!out) throw Error("cannot open for writing: " + stats_file);
+        out << report;
+        std::printf("stats report written to %s\n", stats_file.c_str());
+      }
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -1,12 +1,15 @@
 // Determinism of the parallel FLOW driver: RunHtpFlow must return a
-// bit-identical partition, cost, and per-iteration stats (wall_seconds
-// aside) for every thread count, on multiple circuits and both carvers.
+// bit-identical partition, cost, per-iteration stats (wall_seconds aside),
+// and obs counter totals for every thread count, on multiple circuits and
+// both carvers.
 #include <gtest/gtest.h>
 
 #include <tuple>
 
 #include "core/htp_flow.hpp"
 #include "core/paper_examples.hpp"
+#include "netlist/generators.hpp"
+#include "obs/obs.hpp"
 #include "test_util.hpp"
 
 namespace htp {
@@ -112,6 +115,43 @@ TEST(HtpFlowParallel, ParallelRunMatchesPreParallelismSerialBehaviour) {
   const HtpFlowResult result = RunHtpFlow(hg, Figure2Spec(), params);
   RequireValidPartition(result.partition, Figure2Spec());
   EXPECT_DOUBLE_EQ(result.cost, kFigure2OptimalCost);
+}
+
+TEST(HtpFlowParallel, ObsCounterTotalsAreBitIdenticalAcrossThreadCounts) {
+  // The threads-invariance guarantee extends to the telemetry layer: every
+  // counter total (Dijkstra pops, injections, carve attempts, FM moves, ...)
+  // must match exactly between serial and parallel runs, because the work
+  // itself is identical and integer sums/maxes are order-independent.
+  // Timers measure real durations and are excluded, like wall_seconds.
+  Hypergraph hg = MakeIscas85Like("c1355", 1997);
+  const HierarchySpec spec = FullBinaryHierarchy(hg.total_size());
+  HtpFlowParams params;
+  params.iterations = 4;
+  params.seed = 1997;
+
+  auto run = [&](std::size_t threads) {
+    obs::ResetAll();
+    params.threads = threads;
+    RunHtpFlow(hg, spec, params);
+    return obs::TakeSnapshot().counters;
+  };
+
+  const std::vector<obs::CounterValue> reference = run(1);
+#if HTP_OBS_ENABLED
+  ASSERT_FALSE(reference.empty());
+#endif
+  for (std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    SCOPED_TRACE(threads);
+    const std::vector<obs::CounterValue> counters = run(threads);
+    ASSERT_EQ(reference.size(), counters.size());
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      EXPECT_EQ(reference[i].name, counters[i].name) << "counter " << i;
+      EXPECT_EQ(reference[i].kind, counters[i].kind)
+          << "counter " << reference[i].name;
+      EXPECT_EQ(reference[i].value, counters[i].value)
+          << "counter " << reference[i].name;
+    }
+  }
 }
 
 TEST(HtpFlowParallel, IterationWallTimesArePopulated) {
