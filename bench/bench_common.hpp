@@ -10,6 +10,9 @@
 //                      (0 = all hardware threads, default 1); FLOW results
 //                      are bit-identical for every value, only the wall
 //                      clock changes
+//   --metric-threads <n>  worker threads for the candidate scan inside each
+//                      flow-injection round (0 = all hardware threads,
+//                      default 1); same bit-identity guarantee
 //   --bench-dir <dir>  load real ISCAS85 .bench files named <circuit>.bench
 //                      from <dir> instead of the calibrated generators
 //   --obs-jsonl <file> append the telemetry snapshot of each measured
@@ -38,6 +41,7 @@ struct Options {
   std::uint64_t seed = 1997;
   std::size_t trials = 1;  ///< independent seeds averaged by some benches
   std::size_t threads = 1;  ///< FLOW worker threads (0 = hardware)
+  std::size_t metric_threads = 1;  ///< scan threads per injection round
   std::string bench_dir;
   std::string obs_jsonl;  ///< JSONL telemetry stream path ("" = off)
 };
@@ -54,6 +58,8 @@ inline Options ParseArgs(int argc, char** argv) {
           std::max<std::size_t>(1, std::strtoull(argv[++i], nullptr, 10));
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       options.threads = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--metric-threads") == 0 && i + 1 < argc) {
+      options.metric_threads = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--bench-dir") == 0 && i + 1 < argc) {
       options.bench_dir = argv[++i];
     } else if (std::strcmp(argv[i], "--obs-jsonl") == 0 && i + 1 < argc) {
@@ -61,8 +67,8 @@ inline Options ParseArgs(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "unknown argument '%s' (supported: --quick, --seed N, "
-                   "--trials N, --threads N, --bench-dir DIR, "
-                   "--obs-jsonl FILE)\n",
+                   "--trials N, --threads N, --metric-threads N, "
+                   "--bench-dir DIR, --obs-jsonl FILE)\n",
                    argv[i]);
       std::exit(2);
     }
@@ -181,6 +187,12 @@ inline void PrintHeader(const char* artifact, const char* description,
   if (options.threads != 1)
     std::printf("FLOW threads: %zu%s (results identical to --threads 1)\n",
                 options.threads, options.threads == 0 ? " (all hardware)" : "");
+  if (options.metric_threads != 1)
+    std::printf(
+        "metric scan threads: %zu%s (results identical to "
+        "--metric-threads 1)\n",
+        options.metric_threads,
+        options.metric_threads == 0 ? " (all hardware)" : "");
   std::printf("==============================================================="
               "=================\n");
 }

@@ -91,6 +91,47 @@ void BM_SpreadingMetric(benchmark::State& state) {
 BENCHMARK(BM_SpreadingMetric)->RangeMultiplier(4)->Range(256, 4096)
     ->Complexity(benchmark::oNSquared)->Unit(benchmark::kMillisecond);
 
+// The same Algorithm-2 run on the parallel candidate scan. Comparing this
+// against BM_SpreadingMetric at equal circuit sizes is the headline
+// serial-vs-scan pair: the metric returned is bit-identical (the scanner's
+// determinism contract), so any delta is pure scan-engine wall clock. On a
+// single-core host expect ~1.0x; the scan path's win is the speculative
+// Dijkstras overlapping on real cores.
+void BM_SpreadingMetricScan(benchmark::State& state) {
+  Hypergraph hg = Circuit(state.range(0));
+  const HierarchySpec spec = FullBinaryHierarchy(hg.total_size(), 3);
+  FlowInjectionParams params;
+  params.threads = 4;
+  for (auto _ : state) {
+    params.seed += 1;
+    benchmark::DoNotOptimize(ComputeSpreadingMetric(hg, spec, params));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SpreadingMetricScan)->RangeMultiplier(4)->Range(256, 4096)
+    ->Complexity(benchmark::oNSquared)->Unit(benchmark::kMillisecond);
+
+// One batch scan over every node of a satisfied metric — the worst case for
+// the scanner (no early hit, full window) and the best case for workspace
+// reuse: zero allocations after the first batch. The serial baseline for
+// this shape is BM_Dijkstra times n sources plus the legacy per-call tree
+// construction it no longer pays.
+void BM_ViolationScanFullWindow(benchmark::State& state) {
+  Hypergraph hg = Circuit(state.range(0));
+  const HierarchySpec spec = FullBinaryHierarchy(hg.total_size(), 3);
+  // A generously infeasible-free metric: long lengths spread everything.
+  std::vector<double> metric(hg.num_nets(), 10.0);
+  std::vector<NodeId> candidates(hg.num_nodes());
+  for (NodeId v = 0; v < hg.num_nodes(); ++v) candidates[v] = v;
+  ViolationScanner scanner(hg, spec, 4);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        scanner.FindFirstViolation(candidates, 0, metric, 1e-7));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ViolationScanFullWindow)->RangeMultiplier(4)->Range(256, 4096)
+    ->Complexity(benchmark::oNSquared)->Unit(benchmark::kMillisecond);
+
 void BM_HtpFmPass(benchmark::State& state) {
   Hypergraph hg = Circuit(state.range(0));
   const HierarchySpec spec = FullBinaryHierarchy(hg.total_size(), 3);

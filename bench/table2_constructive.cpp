@@ -23,10 +23,12 @@ int main(int argc, char** argv) {
   if (options.trials > 1)
     std::printf("costs are means over %zu independent seeds\n",
                 options.trials);
-  // With --threads != 1 every FLOW run is repeated serially, so the table
-  // also reports the parallel-driver wall-clock speedup (costs are
-  // identical by construction; any mismatch aborts the bench).
-  const bool report_speedup = options.threads != 1;
+  // With --threads != 1 or --metric-threads != 1 every FLOW run is repeated
+  // fully serially, so the table also reports the parallel wall-clock
+  // speedup (costs are identical by construction; any mismatch aborts the
+  // bench).
+  const bool report_speedup =
+      options.threads != 1 || options.metric_threads != 1;
   std::printf("%-8s %10s %10s %10s %12s %12s %12s", "circuit", "GFM", "RFM",
               "FLOW", "GFM CPU(s)", "RFM CPU(s)", "FLOW CPU(s)");
   if (report_speedup) std::printf(" %12s %8s", "FLOW@1(s)", "speedup");
@@ -58,19 +60,22 @@ int main(int argc, char** argv) {
       p.iterations = options.quick ? 2 : 4;
       p.seed = seed;
       p.threads = options.threads;
+      p.metric_threads = options.metric_threads;
       double cost = 0;
       flow_t += bench::TimeSeconds([&] { cost = RunHtpFlow(hg, spec, p).cost; });
       flow_cost += cost;
       if (report_speedup) {
         p.threads = 1;
+        p.metric_threads = 1;
         double serial_cost = 0;
         flow_serial_t += bench::TimeSeconds(
             [&] { serial_cost = RunHtpFlow(hg, spec, p).cost; });
         if (serial_cost != cost) {
           std::fprintf(stderr,
-                       "determinism violation on %s: threads=%zu cost %.17g "
-                       "!= serial cost %.17g\n",
-                       name.c_str(), options.threads, cost, serial_cost);
+                       "determinism violation on %s: threads=%zu "
+                       "metric-threads=%zu cost %.17g != serial cost %.17g\n",
+                       name.c_str(), options.threads, options.metric_threads,
+                       cost, serial_cost);
           return 1;
         }
       }

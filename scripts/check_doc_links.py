@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Fail on dead relative links in the repo's markdown documentation.
+
+Scans README.md, DESIGN.md, and docs/*.md for inline markdown links
+[text](target) and checks that every relative target resolves to a file or
+directory in the repository (after stripping #fragments). External links
+(http/https/mailto) are ignored; so are in-page #fragment-only links.
+Exit code 1 and one line per dead link otherwise. Stdlib only — runs in CI
+as-is (.github/workflows/ci.yml) and locally via
+
+    python3 scripts/check_doc_links.py
+"""
+
+import pathlib
+import re
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+# [text](target) with no nested brackets; good enough for our docs, which
+# use plain inline links only.
+LINK = re.compile(r"\[[^\]^\[]*\]\(([^)\s]+)\)")
+
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def doc_files():
+    files = [REPO / "README.md", REPO / "DESIGN.md"]
+    files += sorted((REPO / "docs").glob("*.md"))
+    return [f for f in files if f.is_file()]
+
+
+def main():
+    dead = []
+    for doc in doc_files():
+        text = doc.read_text(encoding="utf-8")
+        for match in LINK.finditer(text):
+            target = match.group(1)
+            if target.startswith(SKIP_PREFIXES):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            resolved = (doc.parent / path).resolve()
+            if not resolved.exists():
+                line = text.count("\n", 0, match.start()) + 1
+                dead.append(f"{doc.relative_to(REPO)}:{line}: dead link "
+                            f"'{target}'")
+    for entry in dead:
+        print(entry)
+    if dead:
+        print(f"{len(dead)} dead link(s)", file=sys.stderr)
+        return 1
+    print(f"checked {len(doc_files())} docs: all relative links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

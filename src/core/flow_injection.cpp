@@ -46,29 +46,40 @@ FlowInjectionResult ComputeSpreadingMetric(const Hypergraph& hg,
   // leaves the worklist permanently.
   std::vector<NodeId> worklist(hg.num_nodes());
   for (NodeId v = 0; v < hg.num_nodes(); ++v) worklist[v] = v;
+  std::vector<NodeId> still_violated;
+
+  // Each round is a sequence of scan/commit batches over the shuffled
+  // worklist: the scanner finds the lowest-index violating source after the
+  // cursor against the current metric (in parallel when params.threads > 1),
+  // then this thread — alone — injects flow and re-penalizes lengths. The
+  // candidates the scanner looked at past the hit are re-scanned next batch
+  // against the updated metric, so the sequence of injections, the RNG draw
+  // order, and the surviving worklist are bit-for-bit the old serial sweep.
+  ViolationScanner scanner(hg, spec, params.threads);
 
   while (!worklist.empty() && result.rounds < params.max_rounds) {
     ++result.rounds;
     rng.shuffle(worklist);
-    std::vector<NodeId> still_violated;
-    for (NodeId v : worklist) {
-      auto violation =
-          FindViolationFrom(hg, spec, result.metric, v, params.tolerance);
-      if (!violation) continue;  // v's constraints all hold: drop from V'
+    still_violated.clear();
+    std::size_t cursor = 0;
+    while (cursor < worklist.size()) {
+      auto hit = scanner.FindFirstViolation(worklist, cursor, result.metric,
+                                            params.tolerance);
+      if (!hit) break;  // every source from cursor on is satisfied: drop all
       // Steps 2.1.4 / 2.1.5: flood the violating tree and re-penalize.
-      const std::vector<NetId> nets = TreeNets(violation->tree);
-      for (NetId e : nets) {
+      for (NetId e : hit->tree_nets) {
         result.flow[e] += params.delta;
         update_length(e);
       }
       ++result.injections;
-      flooded_nets += nets.size();
-      violated_tree_nodes += violation->tree_nodes;
+      flooded_nets += hit->tree_nets.size();
+      violated_tree_nodes += hit->tree_nodes;
       // A tree with no nets (k == 1 with a single oversized node) can never
       // be repaired by injection; drop the node to guarantee progress.
-      if (!nets.empty()) still_violated.push_back(v);
+      if (!hit->tree_nets.empty()) still_violated.push_back(hit->source);
+      cursor = hit->index + 1;
     }
-    worklist = std::move(still_violated);
+    std::swap(worklist, still_violated);
   }
 
   result.converged = worklist.empty();

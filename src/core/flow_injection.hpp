@@ -35,6 +35,13 @@ struct FlowInjectionParams {
   std::size_t max_rounds = 4000;
   /// Random seed for the per-round visiting order.
   std::uint64_t seed = 1;
+  /// Worker threads for the candidate scan inside each injection round
+  /// (ViolationScanner). 1 = serial, 0 = all hardware threads. Results are
+  /// bit-identical for every value; only wall-clock changes. Ignored by
+  /// ComputePairPathSpreadingMetric, whose injection step needs the full
+  /// violating tree (a path walk through parent links) rather than just its
+  /// net set, so it stays on the serial oracle.
+  std::size_t threads = 1;
 };
 
 /// Outcome of Algorithm 2.

@@ -69,6 +69,7 @@ IterationOutcome RunIteration(const Hypergraph& hg, const HierarchySpec& spec,
   const auto start = std::chrono::steady_clock::now();
   FlowInjectionParams injection = params.injection;
   injection.seed = streams.injection_seed;
+  injection.threads = params.metric_threads;
   const FlowInjectionResult metric = ComputeSpreadingMetric(hg, spec, injection);
 
   IterationOutcome out;
@@ -91,6 +92,7 @@ IterationOutcome RunIteration(const Hypergraph& hg, const HierarchySpec& spec,
         sub.total_size() > spec.capacity(0)) {
       FlowInjectionParams local = params.injection;
       local.seed = metric_rng.next_u64();
+      local.threads = params.metric_threads;
       const FlowInjectionResult local_metric =
           ComputeSpreadingMetric(sub, spec, local);
       return BestOfCarves(sub, local_metric.metric, lb, ub, rng,

@@ -68,6 +68,15 @@ struct HtpFlowParams {
   /// iteration stats (wall_seconds aside) are bit-identical for every
   /// value of `threads`.
   std::size_t threads = 1;
+  /// Worker threads for the candidate scan *inside* each Algorithm-2
+  /// injection round (ViolationScanner; overrides injection.threads). The
+  /// two knobs compose: `threads` parallelizes across iterations,
+  /// `metric_threads` parallelizes within one metric computation — when
+  /// both exceed 1 the runtime's nested-parallelism guard keeps the inner
+  /// scan serial inside pool workers rather than oversubscribing. Results
+  /// are bit-identical for every combination (asserted by
+  /// tests/core/htp_flow_parallel_test.cpp).
+  std::size_t metric_threads = 1;
 };
 
 /// Statistics of one Algorithm-1 iteration.

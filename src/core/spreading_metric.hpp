@@ -11,10 +11,14 @@
 //   for all v, k:  sum_{u ∈ S(v,k)} s(u) * dist_d(v, u) >= g(s(S(v,k)))  (5)
 //
 // This header provides: metrics induced by partitions (Lemma 1), the metric
-// objective sum_e c(e) d(e), and the constraint checker / separation oracle
-// over family (5) shared by Algorithm 2, the exact LP solver, and the tests.
+// objective sum_e c(e) d(e), the constraint checker / separation oracle
+// over family (5) shared by Algorithm 2, the exact LP solver, and the
+// tests, and ViolationScanner — the deterministic (optionally parallel)
+// batch form of that oracle that Algorithm 2's injection rounds run on.
 #pragma once
 
+#include <cstddef>
+#include <memory>
 #include <optional>
 #include <span>
 #include <vector>
@@ -25,6 +29,8 @@
 #include "graph/dijkstra.hpp"
 
 namespace htp {
+
+class ThreadPool;
 
 /// d(e) per net, aligned with net ids.
 using SpreadingMetric = std::vector<double>;
@@ -62,5 +68,72 @@ std::optional<SpreadingViolation> FindViolationFrom(
 std::optional<SpreadingViolation> CheckSpreadingMetric(
     const Hypergraph& hg, const HierarchySpec& spec,
     const SpreadingMetric& metric, double tolerance = 1e-7);
+
+/// Deterministic parallel candidate scan over constraint family (5) — the
+/// engine inside one Algorithm-2 injection round (core/flow_injection.cpp).
+///
+/// A batch call scans `candidates[begin..end)` against one fixed metric and
+/// returns the *lowest-index* violating candidate: precisely what a serial
+/// `FindViolationFrom` sweep from `begin` would have committed, because the
+/// candidates below the hit saw the same metric the sweep would have shown
+/// them, and everything after the hit is discarded (the caller re-scans it
+/// against the post-injection metric). Workers grab candidates from a
+/// shared cursor, grow each S(v,k) tree on their own preallocated
+/// DijkstraWorkspace, and report violation status plus the tree's net set
+/// into a pre-sized slot; an early-cancel flag stops a worker as soon as a
+/// lower-indexed violation exists, since its result could never commit.
+///
+/// Determinism contract: the returned hit, the committed dijkstra.* counter
+/// totals, and the flow.scan_* counters are bit-identical for every
+/// `threads` value (asserted by tests/core/htp_flow_parallel_test.cpp);
+/// only wall-clock changes. Construction inside a pool worker (a parallel
+/// FLOW iteration) degrades to serial via the runtime's nested-parallelism
+/// guard, as does any hypergraph too small to amortize the fork-join.
+class ViolationScanner {
+ public:
+  /// `threads`: scan workers (1 = serial, 0 = all hardware threads). The
+  /// pool (if any) is spun up once here and reused across every batch.
+  ViolationScanner(const Hypergraph& hg, const HierarchySpec& spec,
+                   std::size_t threads);
+  ~ViolationScanner();
+  ViolationScanner(const ViolationScanner&) = delete;
+  ViolationScanner& operator=(const ViolationScanner&) = delete;
+
+  /// One violated constraint as found by a batch scan: the slim form of
+  /// SpreadingViolation — the committing caller needs the tree's net set,
+  /// not the tree itself. `tree_nets` points into scanner-owned storage and
+  /// is valid until the next FindFirstViolation call.
+  struct ScanHit {
+    std::size_t index = 0;          ///< position within `candidates`
+    NodeId source = kInvalidNode;   ///< v = candidates[index]
+    std::size_t tree_nodes = 0;     ///< k
+    double tree_size = 0.0;         ///< s(S(v,k))
+    double lhs = 0.0;               ///< sum s(u) dist(v,u)
+    double rhs = 0.0;               ///< g(s(S(v,k)))
+    std::span<const NetId> tree_nets;  ///< sorted distinct nets of S(v,k)
+  };
+
+  /// Scans candidates[begin..end) against `metric` with `tolerance` slack
+  /// and returns the lowest-index violation, or nullopt when every scanned
+  /// candidate satisfies family (5).
+  std::optional<ScanHit> FindFirstViolation(std::span<const NodeId> candidates,
+                                            std::size_t begin,
+                                            const SpreadingMetric& metric,
+                                            double tolerance);
+
+  /// Resolved worker count (1 when serial; never affects results).
+  std::size_t workers() const { return workers_; }
+
+ private:
+  struct Slot;
+  struct Worker;
+
+  const Hypergraph& hg_;
+  const HierarchySpec& spec_;
+  std::size_t workers_ = 1;
+  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<Worker[]> worker_state_;
+  std::vector<Slot> slots_;
+};
 
 }  // namespace htp

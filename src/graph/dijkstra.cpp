@@ -1,7 +1,6 @@
 #include "graph/dijkstra.hpp"
 
-#include <algorithm>
-#include <queue>
+#include <utility>
 
 #include "obs/obs.hpp"
 
@@ -13,78 +12,30 @@ obs::Counter c_settled("dijkstra.settled");
 obs::Counter c_pops("dijkstra.pops");
 obs::Counter c_relaxations("dijkstra.relaxations");
 
-struct QueueEntry {
-  double dist;
-  NodeId node;
-  bool operator>(const QueueEntry& other) const {
-    return dist > other.dist || (dist == other.dist && node > other.node);
-  }
-};
-
-using MinQueue =
-    std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>>;
+// Scratch for the convenience entry points: per-thread, sized once for the
+// largest graph the thread has seen. The re-entrant scan path owns explicit
+// workspaces instead (core/spreading_metric.hpp).
+DijkstraWorkspace& ThreadWorkspace() {
+  thread_local DijkstraWorkspace workspace;
+  return workspace;
+}
 
 }  // namespace
+
+void RecordDijkstraCounters(const DijkstraStats& stats, std::uint64_t calls) {
+  c_calls.Add(calls);
+  c_settled.Add(stats.settled);
+  c_pops.Add(stats.pops);
+  c_relaxations.Add(stats.relaxations);
+}
 
 ShortestPathTree GrowShortestPathTree(
     const Hypergraph& hg, NodeId source, std::span<const double> net_length,
     const std::function<GrowAction(const GrowState&)>& visitor) {
-  HTP_CHECK(source < hg.num_nodes());
-  HTP_CHECK(net_length.size() == hg.num_nets());
-
   ShortestPathTree tree;
-  tree.source = source;
-  tree.dist.assign(hg.num_nodes(), kInfDist);
-  tree.parent_net.assign(hg.num_nodes(), kInvalidNet);
-  tree.parent_node.assign(hg.num_nodes(), kInvalidNode);
-
-  // Tentative distances live separately: tree.dist is set only on settle so
-  // `settled()` stays meaningful for truncated runs.
-  std::vector<double> tentative(hg.num_nodes(), kInfDist);
-  std::vector<char> net_relaxed(hg.num_nets(), 0);
-  MinQueue queue;
-  tentative[source] = 0.0;
-  queue.push({0.0, source});
-
-  double tree_size = 0.0;
-  double weighted_dist = 0.0;
-  // Batched per call: one shard add each at exit instead of one per pop.
-  std::uint64_t pops = 0, relaxations = 0;
-
-  while (!queue.empty()) {
-    const QueueEntry top = queue.top();
-    queue.pop();
-    ++pops;
-    const NodeId u = top.node;
-    if (tree.settled(u) || top.dist > tentative[u]) continue;  // stale entry
-
-    tree.dist[u] = top.dist;
-    tree.order.push_back(u);
-    tree_size += hg.node_size(u);
-    weighted_dist += hg.node_size(u) * top.dist;
-
-    const GrowState state{u, top.dist, tree_size, weighted_dist,
-                          tree.order.size()};
-    if (visitor(state) == GrowAction::kStop) break;
-
-    for (NetId e : hg.nets(u)) {
-      if (net_relaxed[e]) continue;
-      net_relaxed[e] = 1;
-      const double cand = top.dist + net_length[e];
-      for (NodeId x : hg.pins(e)) {
-        if (tree.settled(x) || cand >= tentative[x]) continue;
-        tentative[x] = cand;
-        tree.parent_net[x] = e;
-        tree.parent_node[x] = u;
-        queue.push({cand, x});
-        ++relaxations;
-      }
-    }
-  }
-  c_calls.Add();
-  c_settled.Add(tree.order.size());
-  c_pops.Add(pops);
-  c_relaxations.Add(relaxations);
+  DijkstraStats stats;
+  ThreadWorkspace().Grow(hg, source, net_length, visitor, tree, &stats);
+  RecordDijkstraCounters(stats, 1);
   return tree;
 }
 
@@ -96,11 +47,16 @@ ShortestPathTree Dijkstra(const Hypergraph& hg, NodeId source,
 
 std::vector<NetId> TreeNets(const ShortestPathTree& tree) {
   std::vector<NetId> nets;
+  TreeNetsInto(tree, nets);
+  return nets;
+}
+
+void TreeNetsInto(const ShortestPathTree& tree, std::vector<NetId>& nets) {
+  nets.clear();
   for (NodeId u : tree.order)
     if (tree.parent_net[u] != kInvalidNet) nets.push_back(tree.parent_net[u]);
   std::sort(nets.begin(), nets.end());
   nets.erase(std::unique(nets.begin(), nets.end()), nets.end());
-  return nets;
 }
 
 std::vector<std::pair<NetId, double>> TreeSubtreeSizes(

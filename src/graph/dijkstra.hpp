@@ -11,8 +11,21 @@
 // constraint family (5): after the k-th node is settled the visitor sees the
 // prefix sums needed to evaluate the spreading constraint and may stop the
 // growth early, which is what makes Algorithm 2 affordable.
+//
+// Two entry styles share one growth loop (DijkstraWorkspace::Grow):
+//   * the free functions below — allocation-friendly convenience API; they
+//     run on a thread-local workspace and record the dijkstra.* counters;
+//   * an explicit DijkstraWorkspace — the re-entrant form for parallel
+//     candidate scans (core/spreading_metric.hpp): the caller owns one
+//     workspace per worker, scratch state is reused across calls with
+//     epoch-stamped validity (no per-call allocation, no O(nets) clearing),
+//     and telemetry is *returned* via DijkstraStats instead of recorded, so
+//     speculative work can be discarded without perturbing the
+//     deterministic counter totals (see docs/observability.md).
 #pragma once
 
+#include <algorithm>
+#include <cstdint>
 #include <functional>
 #include <limits>
 #include <span>
@@ -53,10 +66,149 @@ struct GrowState {
   std::size_t tree_nodes;  ///< k
 };
 
-/// Runs Dijkstra from `source` with lengths `net_length` (size = num_nets,
-/// entries >= 0). The visitor is called after every settled node (including
-/// the source) and may stop the growth; the returned tree then contains
-/// exactly the settled prefix — the shortest-path tree S(v,k) of the paper.
+/// Work done by one growth, batched for a single counter flush. The scan
+/// engine commits stats only for candidates the serial order would have
+/// visited, keeping dijkstra.* totals schedule-independent.
+struct DijkstraStats {
+  std::uint64_t pops = 0;
+  std::uint64_t relaxations = 0;
+  std::uint64_t settled = 0;
+
+  DijkstraStats& operator+=(const DijkstraStats& other) {
+    pops += other.pops;
+    relaxations += other.relaxations;
+    settled += other.settled;
+    return *this;
+  }
+};
+
+/// Reusable scratch state for Dijkstra growths: tentative distances, the
+/// per-net relaxed marks, and the binary-heap storage. Validity of the
+/// tentative/relaxed cells is tracked by an epoch stamp, so starting a new
+/// growth costs O(1) besides sizing the arrays on first use (or after the
+/// graph grows). Not thread-safe: use one workspace per worker thread.
+class DijkstraWorkspace {
+ public:
+  /// Runs Dijkstra from `source` with lengths `net_length` (size = num_nets,
+  /// entries >= 0), writing the (possibly truncated) tree into `out` — the
+  /// caller owns and may reuse it; its previous contents are discarded. The
+  /// visitor is called after every settled node (including the source) and
+  /// may stop the growth. When `stats` is non-null the growth's work counts
+  /// are *added* to it; nothing is recorded into the obs counters (that is
+  /// the caller's decision — see RecordDijkstraCounters).
+  template <typename Visitor>
+  void Grow(const Hypergraph& hg, NodeId source,
+            std::span<const double> net_length, Visitor&& visitor,
+            ShortestPathTree& out, DijkstraStats* stats = nullptr) {
+    HTP_CHECK(source < hg.num_nodes());
+    HTP_CHECK(net_length.size() == hg.num_nets());
+    BeginEpoch(hg.num_nodes(), hg.num_nets());
+
+    out.source = source;
+    out.dist.assign(hg.num_nodes(), kInfDist);
+    out.parent_net.assign(hg.num_nodes(), kInvalidNet);
+    out.parent_node.assign(hg.num_nodes(), kInvalidNode);
+    out.order.clear();
+
+    // Tentative distances live separately: out.dist is set only on settle so
+    // `settled()` stays meaningful for truncated runs.
+    SetTentative(source, 0.0);
+    heap_.push_back({0.0, source});
+
+    double tree_size = 0.0;
+    double weighted_dist = 0.0;
+    std::uint64_t pops = 0, relaxations = 0;
+
+    while (!heap_.empty()) {
+      const HeapEntry top = heap_.front();
+      std::pop_heap(heap_.begin(), heap_.end(), HeapAfter);
+      heap_.pop_back();
+      ++pops;
+      const NodeId u = top.node;
+      if (out.settled(u) || top.dist > Tentative(u)) continue;  // stale entry
+
+      out.dist[u] = top.dist;
+      out.order.push_back(u);
+      tree_size += hg.node_size(u);
+      weighted_dist += hg.node_size(u) * top.dist;
+
+      const GrowState state{u, top.dist, tree_size, weighted_dist,
+                            out.order.size()};
+      if (visitor(state) == GrowAction::kStop) break;
+
+      for (NetId e : hg.nets(u)) {
+        if (net_epoch_[e] == epoch_) continue;  // already relaxed
+        net_epoch_[e] = epoch_;
+        const double cand = top.dist + net_length[e];
+        for (NodeId x : hg.pins(e)) {
+          if (out.settled(x) || cand >= Tentative(x)) continue;
+          SetTentative(x, cand);
+          out.parent_net[x] = e;
+          out.parent_node[x] = u;
+          heap_.push_back({cand, x});
+          std::push_heap(heap_.begin(), heap_.end(), HeapAfter);
+          ++relaxations;
+        }
+      }
+    }
+    heap_.clear();
+    if (stats) {
+      stats->pops += pops;
+      stats->relaxations += relaxations;
+      stats->settled += out.order.size();
+    }
+  }
+
+ private:
+  struct HeapEntry {
+    double dist;
+    NodeId node;
+  };
+  /// Min-heap order on (dist, node): `a` comes after `b`. The node tie-break
+  /// pins the settling order of equidistant nodes, part of the library-wide
+  /// determinism contract.
+  static bool HeapAfter(const HeapEntry& a, const HeapEntry& b) {
+    return a.dist > b.dist || (a.dist == b.dist && a.node > b.node);
+  }
+
+  double Tentative(NodeId v) const {
+    return node_epoch_[v] == epoch_ ? tentative_[v] : kInfDist;
+  }
+  void SetTentative(NodeId v, double d) {
+    tentative_[v] = d;
+    node_epoch_[v] = epoch_;
+  }
+
+  /// Sizes the arrays for (num_nodes, num_nets) and invalidates every cell
+  /// by bumping the epoch (O(1) except on first use, growth, or the ~4e9th
+  /// call when the stamp wraps and the arrays are re-zeroed).
+  void BeginEpoch(std::size_t num_nodes, std::size_t num_nets) {
+    if (tentative_.size() < num_nodes) {
+      tentative_.resize(num_nodes, 0.0);
+      node_epoch_.resize(num_nodes, 0);
+    }
+    if (net_epoch_.size() < num_nets) net_epoch_.resize(num_nets, 0);
+    if (++epoch_ == 0) {
+      std::fill(node_epoch_.begin(), node_epoch_.end(), 0u);
+      std::fill(net_epoch_.begin(), net_epoch_.end(), 0u);
+      epoch_ = 1;
+    }
+    heap_.clear();
+  }
+
+  std::vector<double> tentative_;
+  std::vector<std::uint32_t> node_epoch_;
+  std::vector<std::uint32_t> net_epoch_;
+  std::vector<HeapEntry> heap_;
+  std::uint32_t epoch_ = 0;
+};
+
+/// Runs Dijkstra from `source` with lengths `net_length` on a thread-local
+/// workspace (no scratch allocation after the first call per thread) and
+/// records the dijkstra.* counters. The visitor is called after every
+/// settled node (including the source) and may stop the growth; the
+/// returned tree then contains exactly the settled prefix — the
+/// shortest-path tree S(v,k) of the paper.
 ShortestPathTree GrowShortestPathTree(
     const Hypergraph& hg, NodeId source, std::span<const double> net_length,
     const std::function<GrowAction(const GrowState&)>& visitor);
@@ -65,9 +217,19 @@ ShortestPathTree GrowShortestPathTree(
 ShortestPathTree Dijkstra(const Hypergraph& hg, NodeId source,
                           std::span<const double> net_length);
 
+/// Credits `calls` growths worth `stats` to the dijkstra.* counters. The
+/// free functions above call this themselves; explicit-workspace callers
+/// use it to commit exactly the deterministic (serial-order) portion of a
+/// speculative scan.
+void RecordDijkstraCounters(const DijkstraStats& stats, std::uint64_t calls);
+
 /// Distinct nets used as parent edges by the settled nodes of `tree` —
 /// the edge set of S(v,k) that Algorithm 2 injects flow on.
 std::vector<NetId> TreeNets(const ShortestPathTree& tree);
+
+/// In-place TreeNets: fills `nets` (cleared first, capacity reused) with the
+/// sorted distinct parent nets of `tree`.
+void TreeNetsInto(const ShortestPathTree& tree, std::vector<NetId>& nets);
 
 /// delta(S(v,k), e) of Equation (6): for every net e in the tree, the total
 /// node size of the subtree hanging below e (the side not containing the

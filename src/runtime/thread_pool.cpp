@@ -5,11 +5,20 @@
 #include <utility>
 
 namespace htp {
+namespace {
+
+// Set for the whole lifetime of a pool worker thread (WorkerLoop); tasks it
+// runs — and anything they call — observe InParallelWorker() == true.
+thread_local bool tls_in_parallel_worker = false;
+
+}  // namespace
 
 std::size_t ResolveThreadCount(std::size_t requested) {
   if (requested != 0) return requested;
   return std::max(1u, std::thread::hardware_concurrency());
 }
+
+bool InParallelWorker() { return tls_in_parallel_worker; }
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   num_threads = std::max<std::size_t>(1, num_threads);
@@ -36,6 +45,7 @@ void ThreadPool::Submit(std::function<void()> task) {
 }
 
 void ThreadPool::WorkerLoop() {
+  tls_in_parallel_worker = true;
   for (;;) {
     std::function<void()> task;
     {
@@ -93,7 +103,7 @@ void ParallelFor(ThreadPool& pool, std::size_t count,
 void ParallelFor(std::size_t threads, std::size_t count,
                  const std::function<void(std::size_t)>& body) {
   const std::size_t workers = ResolveThreadCount(threads);
-  if (workers <= 1 || count <= 1) {
+  if (workers <= 1 || count <= 1 || InParallelWorker()) {
     for (std::size_t i = 0; i < count; ++i) body(i);
     return;
   }

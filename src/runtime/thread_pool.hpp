@@ -29,6 +29,14 @@ namespace htp {
 /// any other value is taken literally.
 std::size_t ResolveThreadCount(std::size_t requested);
 
+/// True while the calling thread is a ThreadPool worker. Nested parallelism
+/// guard: code that may run both standalone and inside a pool task (e.g.
+/// Algorithm 2's candidate scan inside a parallel FLOW iteration) checks
+/// this to degrade its inner fan-out to serial instead of oversubscribing
+/// the machine with pools-within-pools. The convenience ParallelFor
+/// overload below applies the guard automatically.
+bool InParallelWorker();
+
 /// Fixed-size pool of worker threads draining a FIFO task queue. Workers
 /// start in the constructor and are reused across any number of Submit /
 /// ParallelFor rounds; the destructor drains the remaining queue, then
@@ -64,10 +72,11 @@ class ThreadPool {
 void ParallelFor(ThreadPool& pool, std::size_t count,
                  const std::function<void(std::size_t)>& body);
 
-/// Convenience wrapper. ResolveThreadCount(threads) <= 1 (or count <= 1)
-/// runs body(0), body(1), ... serially on the calling thread with no pool
-/// and no synchronization — the exact pre-parallelism code path; otherwise
-/// a transient pool of min(threads, count) workers is used.
+/// Convenience wrapper. ResolveThreadCount(threads) <= 1, count <= 1, or a
+/// calling thread that is itself a pool worker (InParallelWorker) runs
+/// body(0), body(1), ... serially on the calling thread with no pool and no
+/// synchronization — the exact pre-parallelism code path; otherwise a
+/// transient pool of min(threads, count) workers is used.
 void ParallelFor(std::size_t threads, std::size_t count,
                  const std::function<void(std::size_t)>& body);
 

@@ -51,6 +51,11 @@ void Usage(const char* argv0) {
                "                     hardware threads (default 0); results "
                "are\n"
                "                     identical for every T\n"
+               "  --metric-threads M worker threads for the candidate scan\n"
+               "                     inside each flow-injection round "
+               "(default 1;\n"
+               "                     0 = all); results are identical for "
+               "every M\n"
                "  --refine           apply generalized FM afterwards\n"
                "  --seed S           random seed (default 1)\n"
                "  --out FILE         write the partition (default stdout "
@@ -89,7 +94,7 @@ int main(int argc, char** argv) {
   std::string weights_csv;
   std::vector<double> weights;
   Level height = 4;
-  std::size_t branching = 2, iterations = 4, threads = 0;
+  std::size_t branching = 2, iterations = 4, threads = 0, metric_threads = 1;
   double slack = 0.10;
   bool refine = false, stats = false;
   std::uint64_t seed = 1;
@@ -116,6 +121,7 @@ int main(int argc, char** argv) {
       else if (arg("--weights")) weights_csv = argv[++i];
       else if (arg("--iterations")) iterations = std::stoul(argv[++i]);
       else if (arg("--threads")) threads = std::stoul(argv[++i]);
+      else if (arg("--metric-threads")) metric_threads = std::stoul(argv[++i]);
       else if (arg("--seed")) seed = std::stoull(argv[++i]);
       else if (arg("--out")) out_file = argv[++i];
       else if (arg("--dot")) dot_file = argv[++i];
@@ -169,12 +175,16 @@ int main(int argc, char** argv) {
       params.iterations = iterations;
       params.seed = seed;
       params.threads = threads;
+      params.metric_threads = metric_threads;
       if (algo == "flow-mst") params.carver = CarverKind::kMstSplit;
       // Self-describing runs: --threads 0 silently meant "all hardware
       // threads", which made timings impossible to interpret after the
-      // fact; print the resolved worker count up front.
-      std::printf("flow: %zu iterations on %zu threads (--threads %zu)\n",
-                  iterations, ResolveThreadCount(threads), threads);
+      // fact; print the resolved worker counts up front.
+      std::printf(
+          "flow: %zu iterations on %zu threads (--threads %zu), "
+          "%zu scan threads (--metric-threads %zu)\n",
+          iterations, ResolveThreadCount(threads), threads,
+          ResolveThreadCount(metric_threads), metric_threads);
       tp = RunHtpFlow(hg, spec, params).partition;
     } else if (algo == "rfm") {
       tp = RunRfm(hg, spec, {16, seed});

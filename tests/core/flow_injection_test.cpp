@@ -71,6 +71,31 @@ TEST(FlowInjection, DeterministicForSeed) {
   EXPECT_EQ(a.injections, b.injections);
 }
 
+TEST(FlowInjection, ThreadsKnobIsBitIdentical) {
+  // The scan/commit split's whole-algorithm contract: Algorithm 2 with a
+  // parallel candidate scan returns the exact serial result — metric, flow,
+  // injection count, round count, convergence — for every thread count.
+  // 80 nodes clears the scanner's small-graph serial fallback.
+  Hypergraph hg = testutil::RandomConnectedHypergraph(80, 100, 4, 42);
+  const HierarchySpec spec = FullBinaryHierarchy(hg.total_size(), 3, 0.2);
+  FlowInjectionParams params;
+  params.seed = 1997;
+  const FlowInjectionResult serial = ComputeSpreadingMetric(hg, spec, params);
+  ASSERT_GT(serial.injections, 0u);  // the scan path actually commits hits
+  for (std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    SCOPED_TRACE(threads);
+    params.threads = threads;
+    const FlowInjectionResult parallel =
+        ComputeSpreadingMetric(hg, spec, params);
+    EXPECT_EQ(serial.metric, parallel.metric);  // bitwise, every net
+    EXPECT_EQ(serial.flow, parallel.flow);
+    EXPECT_EQ(serial.injections, parallel.injections);
+    EXPECT_EQ(serial.rounds, parallel.rounds);
+    EXPECT_EQ(serial.converged, parallel.converged);
+    EXPECT_EQ(serial.metric_cost, parallel.metric_cost);
+  }
+}
+
 TEST(FlowInjection, ParameterValidation) {
   Hypergraph hg = Figure2Graph();
   const HierarchySpec spec = Figure2Spec();

@@ -154,6 +154,54 @@ TEST(HtpFlowParallel, ObsCounterTotalsAreBitIdenticalAcrossThreadCounts) {
   }
 }
 
+TEST(HtpFlowParallel, MetricThreadsCrossProductIsBitIdentical) {
+  // The two parallelism knobs compose: `threads` fans out the Algorithm-1
+  // iterations, `metric_threads` fans out the candidate scan inside each
+  // Algorithm-2 round (degrading to serial inside pool workers via the
+  // nested-parallelism guard). Every combination must reproduce the fully
+  // serial run bit-for-bit — partition, costs, per-iteration stats, and
+  // every obs counter total, including the flow.scan_* and dijkstra.*
+  // counters whose totals are defined by committed (serial-order) work only.
+  Hypergraph hg = MakeIscas85Like("c1355", 1997);
+  const HierarchySpec spec = FullBinaryHierarchy(hg.total_size());
+  HtpFlowParams params;
+  params.iterations = 4;
+  params.seed = 1997;
+
+  struct Run {
+    HtpFlowResult result;
+    std::vector<obs::CounterValue> counters;
+  };
+  auto run = [&](std::size_t threads, std::size_t metric_threads) {
+    obs::ResetAll();
+    params.threads = threads;
+    params.metric_threads = metric_threads;
+    Run r{RunHtpFlow(hg, spec, params), {}};
+    r.counters = obs::TakeSnapshot().counters;
+    return r;
+  };
+
+  const Run reference = run(1, 1);
+  RequireValidPartition(reference.result.partition, spec);
+  for (const auto [threads, metric_threads] :
+       {std::pair<std::size_t, std::size_t>{1, 2},
+        {1, 8},
+        {2, 1},
+        {2, 2},
+        {8, 8}}) {
+    SCOPED_TRACE(testing::Message() << "threads=" << threads
+                                    << " metric_threads=" << metric_threads);
+    const Run other = run(threads, metric_threads);
+    ExpectIdenticalResults(reference.result, other.result, hg, "cross");
+    ASSERT_EQ(reference.counters.size(), other.counters.size());
+    for (std::size_t i = 0; i < reference.counters.size(); ++i) {
+      EXPECT_EQ(reference.counters[i].name, other.counters[i].name);
+      EXPECT_EQ(reference.counters[i].value, other.counters[i].value)
+          << "counter " << reference.counters[i].name;
+    }
+  }
+}
+
 TEST(HtpFlowParallel, IterationWallTimesArePopulated) {
   Hypergraph hg = testutil::RandomConnectedHypergraph(40, 50, 3, 5);
   const HierarchySpec spec = FullBinaryHierarchy(hg.total_size(), 3, 0.2);

@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "core/paper_examples.hpp"
 #include "partition/random_partition.hpp"
+#include "runtime/thread_pool.hpp"
 #include "test_util.hpp"
 
 namespace htp {
@@ -82,6 +85,100 @@ TEST_P(Lemma1PropertyTest, PartitionMetricsAreFeasible) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, Lemma1PropertyTest,
                          ::testing::Range<std::uint64_t>(1, 13));
+
+// What a serial FindViolationFrom sweep from `begin` would commit: the
+// reference the scanner's determinism contract is stated against.
+struct SweepResult {
+  std::size_t index;
+  SpreadingViolation violation;
+};
+std::optional<SweepResult> SerialSweep(const Hypergraph& hg,
+                                       const HierarchySpec& spec,
+                                       const std::vector<NodeId>& candidates,
+                                       std::size_t begin,
+                                       const SpreadingMetric& metric,
+                                       double tolerance) {
+  for (std::size_t i = begin; i < candidates.size(); ++i)
+    if (auto v =
+            FindViolationFrom(hg, spec, metric, candidates[i], tolerance))
+      return SweepResult{i, std::move(*v)};
+  return std::nullopt;
+}
+
+class ViolationScannerTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ViolationScannerTest, MatchesSerialSweepOnEveryCursor) {
+  // 80 nodes clears the scanner's small-graph serial fallback, so the
+  // GetParam() = 2 / 8 instances genuinely scan in parallel.
+  Hypergraph hg = testutil::RandomConnectedHypergraph(80, 100, 4, 42);
+  const HierarchySpec spec = FullBinaryHierarchy(hg.total_size(), 3, 0.2);
+  std::vector<NodeId> candidates(hg.num_nodes());
+  for (NodeId v = 0; v < hg.num_nodes(); ++v) candidates[v] = v;
+  Rng rng(11);
+  rng.shuffle(candidates);
+
+  // A uniformly short metric violates from many sources; scaling it up
+  // sweeps the hit across the candidate list and eventually to "feasible".
+  ViolationScanner scanner(hg, spec, GetParam());
+  for (double scale : {0.001, 0.01, 0.1, 1.0, 100.0}) {
+    const SpreadingMetric metric(hg.num_nets(), scale);
+    for (std::size_t begin : {std::size_t{0}, std::size_t{17},
+                              candidates.size() - 1, candidates.size()}) {
+      SCOPED_TRACE(testing::Message() << "scale " << scale << " begin "
+                                      << begin);
+      const auto expect =
+          SerialSweep(hg, spec, candidates, begin, metric, 1e-7);
+      const auto hit = scanner.FindFirstViolation(candidates, begin, metric,
+                                                  1e-7);
+      ASSERT_EQ(expect.has_value(), hit.has_value());
+      if (!expect) continue;
+      EXPECT_EQ(hit->index, expect->index);
+      EXPECT_EQ(hit->source, expect->violation.source);
+      EXPECT_EQ(hit->tree_nodes, expect->violation.tree_nodes);
+      EXPECT_EQ(hit->tree_size, expect->violation.tree_size);  // bitwise
+      EXPECT_EQ(hit->lhs, expect->violation.lhs);
+      EXPECT_EQ(hit->rhs, expect->violation.rhs);
+      const std::vector<NetId> expect_nets = TreeNets(expect->violation.tree);
+      EXPECT_TRUE(std::equal(hit->tree_nets.begin(), hit->tree_nets.end(),
+                             expect_nets.begin(), expect_nets.end()));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Workers, ViolationScannerTest,
+                         ::testing::Values(1, 2, 8));
+
+TEST(ViolationScanner, FeasibleMetricReturnsNullopt) {
+  Hypergraph hg = Figure2Graph();
+  const HierarchySpec spec = Figure2Spec();
+  const SpreadingMetric metric =
+      MetricFromPartition(Figure2OptimalPartition(hg), spec);
+  std::vector<NodeId> candidates(hg.num_nodes());
+  for (NodeId v = 0; v < hg.num_nodes(); ++v) candidates[v] = v;
+  ViolationScanner scanner(hg, spec, 4);
+  EXPECT_FALSE(
+      scanner.FindFirstViolation(candidates, 0, metric, 1e-7).has_value());
+}
+
+TEST(ViolationScanner, SmallGraphAndNestedConstructionDegradeToSerial) {
+  Hypergraph hg = Figure2Graph();  // well under the parallel threshold
+  const HierarchySpec spec = Figure2Spec();
+  ViolationScanner small(hg, spec, 8);
+  EXPECT_EQ(small.workers(), 1u);
+  // Constructed inside a pool worker: the nested-parallelism guard forces
+  // serial regardless of the requested count.
+  Hypergraph big = testutil::RandomConnectedHypergraph(80, 100, 4, 42);
+  const HierarchySpec big_spec = FullBinaryHierarchy(big.total_size(), 3, 0.2);
+  std::size_t nested_workers = 99;
+  ThreadPool pool(2);
+  ParallelFor(pool, 1, [&](std::size_t) {
+    ViolationScanner nested(big, big_spec, 8);
+    nested_workers = nested.workers();
+  });
+  EXPECT_EQ(nested_workers, 1u);
+  ViolationScanner outer(big, big_spec, 8);
+  EXPECT_EQ(outer.workers(), 8u);
+}
 
 }  // namespace
 }  // namespace htp

@@ -145,5 +145,74 @@ TEST_P(DijkstraPropertyTest, SubtreeSizesMatchEquationSix) {
 INSTANTIATE_TEST_SUITE_P(Seeds, DijkstraPropertyTest,
                          ::testing::Range<std::uint64_t>(1, 13));
 
+void ExpectSameTree(const ShortestPathTree& a, const ShortestPathTree& b) {
+  EXPECT_EQ(a.source, b.source);
+  EXPECT_EQ(a.order, b.order);
+  EXPECT_EQ(a.parent_net, b.parent_net);
+  EXPECT_EQ(a.parent_node, b.parent_node);
+  ASSERT_EQ(a.dist.size(), b.dist.size());
+  for (std::size_t v = 0; v < a.dist.size(); ++v)
+    EXPECT_EQ(a.dist[v], b.dist[v]) << "node " << v;  // bitwise, incl. inf
+}
+
+TEST(DijkstraWorkspace, GrowMatchesLegacyEntryPoint) {
+  // The legacy free function and an explicit workspace share one growth
+  // loop; an explicit workspace reused across sources and graphs must
+  // reproduce its trees bit-for-bit (same heap tie-breaks, same order).
+  DijkstraWorkspace workspace;
+  ShortestPathTree reused;
+  for (std::uint64_t seed : {3u, 4u, 5u}) {
+    Hypergraph hg = testutil::RandomConnectedHypergraph(
+        20 + seed * 7, 15 + seed * 5, 3, seed);
+    Rng rng(seed * 31);
+    std::vector<double> len(hg.num_nets());
+    for (double& d : len) d = rng.next_double() * 4.0;
+    for (NodeId source = 0; source < hg.num_nodes(); source += 5) {
+      const ShortestPathTree expect = Dijkstra(hg, source, len);
+      workspace.Grow(hg, source, len,
+                     [](const GrowState&) { return GrowAction::kContinue; },
+                     reused);
+      ExpectSameTree(expect, reused);
+    }
+  }
+}
+
+TEST(DijkstraWorkspace, TruncatedGrowMatchesLegacyAndReturnsStats) {
+  Hypergraph hg = testutil::RandomConnectedHypergraph(40, 35, 4, 9);
+  Rng rng(100);
+  std::vector<double> len(hg.num_nets());
+  for (double& d : len) d = rng.next_double();
+  auto stop_at = [](std::size_t k) {
+    return [k](const GrowState& s) {
+      return s.tree_nodes >= k ? GrowAction::kStop : GrowAction::kContinue;
+    };
+  };
+  const ShortestPathTree expect = GrowShortestPathTree(hg, 2, len, stop_at(7));
+  DijkstraWorkspace workspace;
+  ShortestPathTree tree;
+  DijkstraStats stats;
+  workspace.Grow(hg, 2, len, stop_at(7), tree, &stats);
+  ExpectSameTree(expect, tree);
+  EXPECT_EQ(stats.settled, 7u);
+  EXPECT_GE(stats.pops, stats.settled);  // stale entries only add pops
+  // Stats accumulate across calls (the scan engine sums per-batch).
+  workspace.Grow(hg, 2, len, stop_at(7), tree, &stats);
+  EXPECT_EQ(stats.settled, 14u);
+}
+
+TEST(DijkstraWorkspace, TreeNetsIntoMatchesTreeNetsAndReusesCapacity) {
+  Hypergraph hg = testutil::RandomConnectedHypergraph(30, 28, 3, 21);
+  Rng rng(7);
+  std::vector<double> len(hg.num_nets());
+  for (double& d : len) d = rng.next_double();
+  std::vector<NetId> reused;
+  for (NodeId source : {0u, 4u, 9u}) {
+    const ShortestPathTree tree = Dijkstra(hg, source, len);
+    TreeNetsInto(tree, reused);
+    EXPECT_EQ(reused, TreeNets(tree));
+    EXPECT_TRUE(std::is_sorted(reused.begin(), reused.end()));
+  }
+}
+
 }  // namespace
 }  // namespace htp

@@ -110,6 +110,37 @@ TEST(ThreadPool, ParallelOverloadSpawnsTransientPool) {
   EXPECT_EQ(total.load(), 99L * 100 / 2);
 }
 
+TEST(ThreadPool, InParallelWorkerTrueOnlyInsidePoolTasks) {
+  EXPECT_FALSE(InParallelWorker());
+  ThreadPool pool(2);
+  std::atomic<int> observed_inside{0};
+  ParallelFor(pool, 8, [&](std::size_t) {
+    if (InParallelWorker()) observed_inside++;
+  });
+  EXPECT_EQ(observed_inside.load(), 8);
+  EXPECT_FALSE(InParallelWorker());  // the calling thread never flips
+}
+
+TEST(ThreadPool, NestedConvenienceParallelForDegradesToSerial) {
+  // A pool task that itself calls the convenience ParallelFor must run the
+  // inner loop inline on the same worker thread — no pool-within-a-pool —
+  // so nested parallel code (e.g. the metric scan inside a parallel FLOW
+  // iteration) can't oversubscribe or deadlock.
+  ThreadPool pool(2);
+  std::atomic<int> inner_total{0};
+  std::atomic<int> inner_on_same_thread{0};
+  ParallelFor(pool, 4, [&](std::size_t) {
+    const std::thread::id outer_thread = std::this_thread::get_id();
+    EXPECT_TRUE(InParallelWorker());
+    ParallelFor(std::size_t{8}, 5, [&](std::size_t) {
+      inner_total++;
+      if (std::this_thread::get_id() == outer_thread) inner_on_same_thread++;
+    });
+  });
+  EXPECT_EQ(inner_total.load(), 4 * 5);
+  EXPECT_EQ(inner_on_same_thread.load(), 4 * 5);
+}
+
 TEST(ThreadPool, SubmitRunsEnqueuedTask) {
   ThreadPool pool(1);
   std::promise<int> promise;
