@@ -25,6 +25,7 @@ int main(int argc, char** argv) {
       params.injection.alpha = alpha;
       params.seed = options.seed;
       params.threads = options.threads;
+      params.budget = bench::FlowBudget(options);
       double cost = 0;
       std::size_t injections = 0;
       const double secs = bench::TimeSeconds([&] {

@@ -29,6 +29,7 @@ int main(int argc, char** argv) {
       params.carver = kinds[i];
       params.seed = options.seed;
       params.threads = options.threads;
+      params.budget = bench::FlowBudget(options);
       secs[i] = bench::TimeSeconds(
           [&] { cost[i] = RunHtpFlow(hg, spec, params).cost; });
     }

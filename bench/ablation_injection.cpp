@@ -32,6 +32,10 @@ int main(int argc, char** argv) {
     FlowInjectionParams params;
     params.seed = options.seed;
     params.max_rounds = 600;
+    if (options.budget.max_rounds != 0)
+      params.max_rounds =
+          std::min(params.max_rounds, options.budget.max_rounds);
+    params.cancel = StartBudget(options.budget);
 
     const FlowInjectionResult tree = ComputeSpreadingMetric(hg, spec, params);
     const FlowInjectionResult path =

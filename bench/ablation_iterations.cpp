@@ -24,6 +24,7 @@ int main(int argc, char** argv) {
       params.iterations = n;
       params.seed = options.seed;
       params.threads = options.threads;
+      params.budget = bench::FlowBudget(options);
       double cost = 0;
       const double secs =
           bench::TimeSeconds([&] { cost = RunHtpFlow(hg, spec, params).cost; });

@@ -28,6 +28,7 @@ int main(int argc, char** argv) {
       params.constructions_per_metric = cpm;
       params.seed = options.seed;
       params.threads = options.threads;
+      params.budget = bench::FlowBudget(options);
       double cost = 0;
       const double secs =
           bench::TimeSeconds([&] { cost = RunHtpFlow(hg, spec, params).cost; });

@@ -25,6 +25,7 @@ int main(int argc, char** argv) {
     fp.iterations = options.quick ? 1 : 2;
     fp.seed = options.seed;
     fp.threads = options.threads;
+    fp.budget = bench::FlowBudget(options);
     const HtpFlowResult flow = RunHtpFlow(hg, spec, fp);
 
     TreePartition fm_part = flow.partition;

@@ -32,6 +32,7 @@ int main(int argc, char** argv) {
       params.metric_scope = scopes[i];
       params.seed = options.seed;
       params.threads = options.threads;
+      params.budget = bench::FlowBudget(options);
       secs[i] = bench::TimeSeconds(
           [&] { cost[i] = RunHtpFlow(hg, spec, params).cost; });
     }

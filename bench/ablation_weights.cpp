@@ -52,6 +52,7 @@ int main(int argc, char** argv) {
     fp.iterations = options.quick ? 1 : 2;
     fp.seed = options.seed;
     fp.threads = options.threads;
+    fp.budget = bench::FlowBudget(options);
     const auto flow = run(RunHtpFlow(hg, spec, fp).partition);
 
     std::printf("%-8s | %9.0f %8zu | %9.0f %8zu | %9.0f %8zu\n",

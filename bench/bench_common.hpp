@@ -13,6 +13,14 @@
 //   --metric-threads <n>  worker threads for the candidate scan inside each
 //                      flow-injection round (0 = all hardware threads,
 //                      default 1); same bit-identity guarantee
+//   --time-budget <s>  wall-clock budget per FLOW run (seconds); a fired
+//                      deadline returns the best partition found so far
+//                      (anytime semantics, docs/robustness.md) — costs are
+//                      then budget-dependent, not comparable to unbudgeted
+//                      tables
+//   --max-rounds <n>   deterministic cap on Algorithm-2 worklist rounds per
+//                      metric computation (bit-identical for every thread
+//                      count, unlike --time-budget)
 //   --bench-dir <dir>  load real ISCAS85 .bench files named <circuit>.bench
 //                      from <dir> instead of the calibrated generators
 //   --obs-jsonl <file> append the telemetry snapshot of each measured
@@ -33,6 +41,7 @@
 #include "netlist/generators.hpp"
 #include "obs/obs.hpp"
 #include "obs/sinks.hpp"
+#include "runtime/budget.hpp"
 
 namespace htp::bench {
 
@@ -42,9 +51,19 @@ struct Options {
   std::size_t trials = 1;  ///< independent seeds averaged by some benches
   std::size_t threads = 1;  ///< FLOW worker threads (0 = hardware)
   std::size_t metric_threads = 1;  ///< scan threads per injection round
+  /// Anytime knobs applied to every FLOW run (--time-budget / --max-rounds;
+  /// default unlimited = the exact unbudgeted tables).
+  Budget budget;
   std::string bench_dir;
   std::string obs_jsonl;  ///< JSONL telemetry stream path ("" = off)
+
+  /// True when --time-budget was given: results depend on wall clock, so
+  /// the benches must not treat parallel/serial cost divergence as a bug.
+  bool Deadlined() const { return budget.HasDeadline(); }
 };
+
+/// The budget every FLOW run of a bench should inherit.
+inline Budget FlowBudget(const Options& options) { return options.budget; }
 
 inline Options ParseArgs(int argc, char** argv) {
   Options options;
@@ -60,6 +79,15 @@ inline Options ParseArgs(int argc, char** argv) {
       options.threads = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--metric-threads") == 0 && i + 1 < argc) {
       options.metric_threads = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--time-budget") == 0 && i + 1 < argc) {
+      char* end = nullptr;
+      options.budget.time_budget_seconds = std::strtod(argv[++i], &end);
+      if (end == nullptr || *end != '\0') {
+        std::fprintf(stderr, "malformed --time-budget value '%s'\n", argv[i]);
+        std::exit(2);
+      }
+    } else if (std::strcmp(argv[i], "--max-rounds") == 0 && i + 1 < argc) {
+      options.budget.max_rounds = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--bench-dir") == 0 && i + 1 < argc) {
       options.bench_dir = argv[++i];
     } else if (std::strcmp(argv[i], "--obs-jsonl") == 0 && i + 1 < argc) {
@@ -68,6 +96,7 @@ inline Options ParseArgs(int argc, char** argv) {
       std::fprintf(stderr,
                    "unknown argument '%s' (supported: --quick, --seed N, "
                    "--trials N, --threads N, --metric-threads N, "
+                   "--time-budget S, --max-rounds N, "
                    "--bench-dir DIR, --obs-jsonl FILE)\n",
                    argv[i]);
       std::exit(2);
@@ -193,6 +222,15 @@ inline void PrintHeader(const char* artifact, const char* description,
         "--metric-threads 1)\n",
         options.metric_threads,
         options.metric_threads == 0 ? " (all hardware)" : "");
+  if (options.budget.HasDeadline())
+    std::printf(
+        "time budget: %.3gs per FLOW run (anytime best-so-far; costs are "
+        "budget-dependent)\n",
+        options.budget.time_budget_seconds);
+  if (options.budget.max_rounds != 0)
+    std::printf("round cap: %zu Algorithm-2 rounds per metric "
+                "(deterministic)\n",
+                options.budget.max_rounds);
   std::printf("==============================================================="
               "=================\n");
 }

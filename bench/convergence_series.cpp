@@ -35,6 +35,10 @@ int main(int argc, char** argv) {
     FlowInjectionParams params;
     params.seed = options.seed;
     params.max_rounds = cap;
+    if (options.budget.max_rounds != 0)
+      params.max_rounds =
+          std::min(params.max_rounds, options.budget.max_rounds);
+    params.cancel = StartBudget(options.budget);
     const FlowInjectionResult r = ComputeSpreadingMetric(hg, spec, params);
     // Snapshot before the feasibility recheck below adds its own Dijkstra
     // growth to the totals.

@@ -55,6 +55,7 @@ int main(int argc, char** argv) {
   params.iterations = 4;
   params.seed = options.seed;
   params.threads = options.threads;
+  params.budget = bench::FlowBudget(options);
   const HtpFlowResult flow = RunHtpFlow(hg, spec, params);
   std::printf("Algorithm 1 (FLOW, N=4):                    %.0f\n",
               flow.cost);

@@ -62,6 +62,7 @@ int main(int argc, char** argv) {
     params.iterations = 4;
     params.seed = options.seed;
     params.threads = options.threads;
+    params.budget = bench::FlowBudget(options);
     const HtpFlowResult flow = RunHtpFlow(c.hg, c.spec, params);
     const double opt = exact ? exact->cost : -1.0;
     std::printf("%-12s %10.3f %10.0f %10.0f %12.3f %8.3f\n", c.name.c_str(),

@@ -35,6 +35,7 @@ int main(int argc, char** argv) {
     fp.iterations = options.quick ? 1 : 2;
     fp.seed = options.seed;
     fp.threads = options.threads;
+    fp.budget = bench::FlowBudget(options);
     HtpFlowResult flow = RunHtpFlow(hg, spec, fp);
 
     const double rfm_c = PartitionCost(rfm, spec);

@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
     fp.iterations = options.quick ? 1 : 2;
     fp.seed = options.seed;
     fp.threads = options.threads;
+    fp.budget = bench::FlowBudget(options);
     const double flow = RunHtpFlow(hg, spec, fp).cost;
     RfmParams rp;
     rp.seed = options.seed;

@@ -37,6 +37,7 @@ int main(int argc, char** argv) {
     fp.iterations = options.quick ? 2 : 4;
     fp.seed = options.seed;
     fp.threads = options.threads;
+    fp.budget = bench::FlowBudget(options);
     HtpFlowResult flow = RunHtpFlow(hg, spec, fp);
 
     struct Row {

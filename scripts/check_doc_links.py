@@ -1,16 +1,32 @@
 #!/usr/bin/env python3
-"""Fail on dead relative links in the repo's markdown documentation.
+"""Fail on dead relative links and stale file paths in the markdown docs.
 
-Scans README.md, DESIGN.md, and docs/*.md for inline markdown links
-[text](target) and checks that every relative target resolves to a file or
-directory in the repository (after stripping #fragments). External links
-(http/https/mailto) are ignored; so are in-page #fragment-only links.
-Exit code 1 and one line per dead link otherwise. Stdlib only — runs in CI
+Two checks over README.md, DESIGN.md, and docs/*.md:
+
+1. Inline markdown links [text](target): every relative target must resolve
+   to a file or directory in the repository (after stripping #fragments).
+   External links (http/https/mailto) and in-page #fragments are ignored.
+
+2. Backticked file paths (`src/core/htp_flow.cpp`, `docs/usage.md`,
+   `scripts/check_doc_links.py`, ...): every path-looking inline code span
+   must name something that exists in the tree — this catches doc drift
+   when sources are renamed. A span counts as a path when its first segment
+   is a known top-level directory (src, docs, tests, bench, examples,
+   scripts, .github) or it ends in a doc/source suffix and contains a '/'.
+   Fenced code blocks are skipped (they show shell output, not references);
+   so are spans with spaces, flags, or shell metacharacters, `build*/`
+   paths (CI has no build tree), and `{hpp,cpp}` brace shorthand (expanded
+   before checking). Paths are resolved repo-root-relative first, then
+   doc-relative, then with a .cpp/.hpp suffix appended (so `bench/
+   table1_sizes` — a binary name — matches its source).
+
+Exit code 1 and one line per finding otherwise. Stdlib only — runs in CI
 as-is (.github/workflows/ci.yml) and locally via
 
     python3 scripts/check_doc_links.py
 """
 
+import itertools
 import pathlib
 import re
 import sys
@@ -21,7 +37,21 @@ REPO = pathlib.Path(__file__).resolve().parent.parent
 # use plain inline links only.
 LINK = re.compile(r"\[[^\]^\[]*\]\(([^)\s]+)\)")
 
+CODE_SPAN = re.compile(r"`([^`\n]+)`")
+FENCE = re.compile(r"^(```|~~~).*?^\1\s*$", re.MULTILINE | re.DOTALL)
+
 SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+# First path segments that mark a backticked span as a file reference.
+PATH_ROOTS = {"src", "docs", "tests", "bench", "examples", "scripts",
+              ".github"}
+# Suffixes that mark a slash-containing span as a file reference even when
+# it does not start at a known root (e.g. `core/htp_flow.hpp`, resolved
+# relative to src/).
+PATH_SUFFIXES = (".hpp", ".cpp", ".h", ".md", ".py", ".yml", ".json",
+                 ".txt", ".cmake")
+# Characters that mean "this span is code or shell, not a bare path".
+NON_PATH_CHARS = set(" <>()\"'|=:;,[]$*")
 
 
 def doc_files():
@@ -30,8 +60,43 @@ def doc_files():
     return [f for f in files if f.is_file()]
 
 
+def expand_braces(span):
+    """`a.{hpp,cpp}` -> [`a.hpp`, `a.cpp`]; spans without braces pass through."""
+    match = re.fullmatch(r"([^{}]*)\{([^{}]+)\}([^{}]*)", span)
+    if not match:
+        return [span]
+    head, alternatives, tail = match.groups()
+    return [head + alt + tail for alt in alternatives.split(",")]
+
+
+def looks_like_path(span):
+    if set(span) & NON_PATH_CHARS:
+        return False
+    first = span.split("/", 1)[0]
+    if first.startswith("build"):
+        return False  # build trees exist locally, not in a checkout
+    if first in PATH_ROOTS:
+        return True
+    return "/" in span and span.endswith(PATH_SUFFIXES)
+
+
+def resolves(span, doc):
+    """True when `span` names something in the tree under any of the
+    resolution rules documented above."""
+    candidates = [REPO / span, REPO / "src" / span, doc.parent / span]
+    # Bench/example binary names (`bench/table1_sizes`) match their source.
+    candidates += [REPO / (span + ext) for ext in (".cpp", ".hpp")]
+    return any(c.exists() for c in candidates)
+
+
+def strip_fences(text):
+    """Replace fenced code blocks with equivalent newlines so line numbers
+    of the remaining text stay correct."""
+    return FENCE.sub(lambda m: "\n" * m.group(0).count("\n"), text)
+
+
 def main():
-    dead = []
+    findings = []
     for doc in doc_files():
         text = doc.read_text(encoding="utf-8")
         for match in LINK.finditer(text):
@@ -44,14 +109,29 @@ def main():
             resolved = (doc.parent / path).resolve()
             if not resolved.exists():
                 line = text.count("\n", 0, match.start()) + 1
-                dead.append(f"{doc.relative_to(REPO)}:{line}: dead link "
-                            f"'{target}'")
-    for entry in dead:
+                findings.append(f"{doc.relative_to(REPO)}:{line}: dead link "
+                                f"'{target}'")
+
+        prose = strip_fences(text)
+        for match in CODE_SPAN.finditer(prose):
+            span = match.group(1).strip().rstrip("/")
+            expanded = list(itertools.chain.from_iterable(
+                expand_braces(s) for s in [span]))
+            for candidate in expanded:
+                if not looks_like_path(candidate):
+                    continue
+                if not resolves(candidate, doc):
+                    line = prose.count("\n", 0, match.start()) + 1
+                    findings.append(f"{doc.relative_to(REPO)}:{line}: stale "
+                                    f"path reference '{candidate}'")
+    for entry in findings:
         print(entry)
-    if dead:
-        print(f"{len(dead)} dead link(s)", file=sys.stderr)
+    if findings:
+        print(f"{len(findings)} dead link(s) / stale path(s)",
+              file=sys.stderr)
         return 1
-    print(f"checked {len(doc_files())} docs: all relative links resolve")
+    print(f"checked {len(doc_files())} docs: all relative links and "
+          f"backticked paths resolve")
     return 0
 
 

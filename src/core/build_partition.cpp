@@ -42,9 +42,10 @@ class Builder {
  public:
   Builder(const Hypergraph& hg, const HierarchySpec& spec,
           const SpreadingMetric& metric, const CarveFn& carve, Rng& rng,
-          TreePartition& tp)
+          TreePartition& tp, const CancellationToken& cancel)
       : hg_(hg), spec_(spec), metric_(metric), carve_(carve), rng_(rng),
-        tp_(tp), integral_(hg.unit_sizes()), granularity_(MaxNodeSize(hg)) {
+        tp_(tp), cancel_(cancel), integral_(hg.unit_sizes()),
+        granularity_(MaxNodeSize(hg)) {
     HTP_CHECK(metric.size() == hg.num_nets());
   }
 
@@ -99,6 +100,11 @@ class Builder {
           integral_ ? j * ub : j * ub - std::max(0.0, j - 1.0) * granularity_;
       const double lb_eff = std::max(lb, rem_size - slots);
 
+      // Safepoint: between carve steps (never inside one). A partition
+      // under construction cannot be returned partially, so a fired token
+      // unwinds via CancelledError to the caller's catch.
+      if (cancel_.Cancelled()) throw CancelledError();
+
       SubHypergraph sub = InducedSubHypergraph(hg_, remaining);
       std::vector<double> sub_metric(sub.hg.num_nets());
       for (NetId e = 0; e < sub.hg.num_nets(); ++e)
@@ -136,6 +142,7 @@ class Builder {
   const CarveFn& carve_;
   Rng& rng_;
   TreePartition& tp_;
+  const CancellationToken& cancel_;
   bool integral_;
   double granularity_;
 };
@@ -145,14 +152,15 @@ class Builder {
 TreePartition BuildPartitionTopDown(const Hypergraph& hg,
                                     const HierarchySpec& spec,
                                     const SpreadingMetric& metric,
-                                    const CarveFn& carve, Rng& rng) {
+                                    const CarveFn& carve, Rng& rng,
+                                    const CancellationToken& cancel) {
   HTP_CHECK(hg.num_nodes() > 0);
   obs::PhaseScope obs_span(t_build);
   c_builds.Add();
   TreePartition tp(hg, spec.LevelForSize(hg.total_size()));
   std::vector<NodeId> all(hg.num_nodes());
   for (NodeId v = 0; v < hg.num_nodes(); ++v) all[v] = v;
-  Builder builder(hg, spec, metric, carve, rng, tp);
+  Builder builder(hg, spec, metric, carve, rng, tp, cancel);
   builder.Build(TreePartition::kRoot, std::move(all));
   HTP_CHECK(tp.fully_assigned());
   return tp;

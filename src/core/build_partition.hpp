@@ -16,6 +16,7 @@
 #pragma once
 
 #include "core/find_cut.hpp"
+#include "runtime/budget.hpp"
 
 namespace htp {
 
@@ -24,9 +25,17 @@ namespace htp {
 /// The partition root sits at spec.LevelForSize(total size).
 /// Throws htp::Error when the instance is infeasible (e.g. a single node
 /// larger than C_0).
+///
+/// `cancel` is polled before every carve step (a construction is
+/// all-or-nothing, so there is no partial result to hand back): a fired
+/// token throws CancelledError, which callers that guarantee a result
+/// (RunHtpFlow's floor construction) avoid by passing the default inert
+/// token. The poll is read-only, so results with an unfired token are
+/// bit-identical to an un-cancellable build.
 TreePartition BuildPartitionTopDown(const Hypergraph& hg,
                                     const HierarchySpec& spec,
                                     const SpreadingMetric& metric,
-                                    const CarveFn& carve, Rng& rng);
+                                    const CarveFn& carve, Rng& rng,
+                                    const CancellationToken& cancel = {});
 
 }  // namespace htp

@@ -18,6 +18,9 @@ obs::Counter c_injections("flow.injections");
 obs::Counter c_flooded_nets("flow.flooded_nets");
 obs::Counter c_violated_tree_nodes("flow.violated_tree_nodes");
 obs::Counter c_converged("flow.converged");
+// Metric computations cut short by a fired CancellationToken. Non-zero only
+// when a budget actually fires, so unbudgeted totals stay bit-identical.
+obs::Counter c_rounds_truncated("flow.rounds_truncated");
 obs::Timer t_compute_metric("flow.compute_metric");
 
 }  // namespace
@@ -58,6 +61,12 @@ FlowInjectionResult ComputeSpreadingMetric(const Hypergraph& hg,
   ViolationScanner scanner(hg, spec, params.threads);
 
   while (!worklist.empty() && result.rounds < params.max_rounds) {
+    // Safepoint: between rounds the metric is fully re-penalized and the
+    // worklist consistent, so stopping here leaves a usable partial metric.
+    if (params.cancel.Cancelled()) {
+      result.cancelled = true;
+      break;
+    }
     ++result.rounds;
     rng.shuffle(worklist);
     still_violated.clear();
@@ -78,11 +87,19 @@ FlowInjectionResult ComputeSpreadingMetric(const Hypergraph& hg,
       // be repaired by injection; drop the node to guarantee progress.
       if (!hit->tree_nets.empty()) still_violated.push_back(hit->source);
       cursor = hit->index + 1;
+      // Safepoint: after a commit (flood + re-penalize applied in full),
+      // never mid-scan.
+      if (params.cancel.Cancelled()) {
+        result.cancelled = true;
+        break;
+      }
     }
+    if (result.cancelled) break;
     std::swap(worklist, still_violated);
   }
 
-  result.converged = worklist.empty();
+  result.converged = worklist.empty() && !result.cancelled;
+  if (result.cancelled) c_rounds_truncated.Add();
   result.metric_cost = MetricCost(hg, result.metric);
   c_metrics.Add();
   c_rounds.Add(result.rounds);
@@ -116,10 +133,17 @@ FlowInjectionResult ComputePairPathSpreadingMetric(
   for (NodeId v = 0; v < hg.num_nodes(); ++v) worklist[v] = v;
 
   while (!worklist.empty() && result.rounds < params.max_rounds) {
+    // Same safepoint placement as ComputeSpreadingMetric: round top and
+    // after each committed injection.
+    if (params.cancel.Cancelled()) {
+      result.cancelled = true;
+      break;
+    }
     ++result.rounds;
     rng.shuffle(worklist);
     std::vector<NodeId> still_violated;
     for (NodeId v : worklist) {
+      if (result.cancelled) break;
       auto violation =
           FindViolationFrom(hg, spec, result.metric, v, params.tolerance);
       if (!violation) continue;
@@ -138,11 +162,14 @@ FlowInjectionResult ComputePairPathSpreadingMetric(
       }
       ++result.injections;
       still_violated.push_back(v);
+      if (params.cancel.Cancelled()) result.cancelled = true;
     }
+    if (result.cancelled) break;
     worklist = std::move(still_violated);
   }
 
-  result.converged = worklist.empty();
+  result.converged = worklist.empty() && !result.cancelled;
+  if (result.cancelled) c_rounds_truncated.Add();
   result.metric_cost = MetricCost(hg, result.metric);
   c_metrics.Add();
   c_rounds.Add(result.rounds);

@@ -14,6 +14,7 @@
 #include <cstdint>
 
 #include "core/spreading_metric.hpp"
+#include "runtime/budget.hpp"
 
 namespace htp {
 
@@ -42,6 +43,14 @@ struct FlowInjectionParams {
   /// violating tree (a path walk through parent links) rather than just its
   /// net set, so it stays on the serial oracle.
   std::size_t threads = 1;
+  /// Cooperative cancellation handle, polled at the algorithm's safepoints:
+  /// the top of every worklist round and after every commit (an injection
+  /// is applied and re-penalized in full — never mid-scan). A fired token
+  /// stops the loop with `cancelled = true`; the returned metric is the
+  /// last committed state, so it is always internally consistent (just not
+  /// necessarily feasible for family (5)). Inert by default: unbudgeted
+  /// runs are bit-identical to the pre-anytime code path.
+  CancellationToken cancel;
 };
 
 /// Outcome of Algorithm 2.
@@ -51,6 +60,7 @@ struct FlowInjectionResult {
   std::size_t injections = 0;    ///< number of violating trees flooded
   std::size_t rounds = 0;        ///< worklist passes executed
   bool converged = false;        ///< worklist emptied within max_rounds
+  bool cancelled = false;        ///< params.cancel fired at a safepoint
   double metric_cost = 0.0;      ///< sum_e c(e) d(e) of the final metric
 };
 

@@ -1,5 +1,6 @@
 #include "core/htp_flow.hpp"
 
+#include <algorithm>
 #include <chrono>
 
 #include "core/mst_carver.hpp"
@@ -14,22 +15,34 @@ namespace {
 obs::Counter c_runs("driver.runs");
 obs::Counter c_iterations("driver.iterations");
 obs::Counter c_carve_attempts("carve.attempts");
+// Anytime telemetry: all three stay zero unless a budget is set, so
+// unbudgeted counter totals are untouched. `driver.budget_remaining_ms` is
+// the wall-clock headroom left when a deadline-budgeted run returned (kMax:
+// the roomiest run in the snapshot window).
+obs::Counter c_cancelled("driver.cancelled");
+obs::Counter c_iterations_skipped("driver.iterations_skipped");
+obs::Counter c_budget_remaining_ms("driver.budget_remaining_ms",
+                                   obs::CounterKind::kMax);
 obs::Timer t_run("driver.run");
 obs::Timer t_iteration("driver.iteration");
 obs::Timer t_construct("driver.construct");
 
 // Wraps a carve in best-of-`attempts` restarts (in-window results strictly
-// dominate out-of-window ones).
+// dominate out-of-window ones). A fired token stops the restarts after the
+// first completed attempt — one attempt always runs, so the carve (and thus
+// the enclosing construction) stays valid.
 CarveResult BestOfCarves(const Hypergraph& hg,
                          std::span<const double> metric, double lb, double ub,
-                         Rng& rng, std::size_t attempts, CarverKind carver) {
+                         Rng& rng, std::size_t attempts, CarverKind carver,
+                         const CancellationToken& cancel) {
   CarveResult best;
   bool have = false;
-  c_carve_attempts.Add(attempts);
+  std::size_t executed = 0;
   for (std::size_t t = 0; t < attempts; ++t) {
     CarveResult cut = carver == CarverKind::kMstSplit
                           ? MstSplitCarve(hg, metric, lb, ub, rng)
                           : MetricFindCut(hg, metric, lb, ub, rng);
+    ++executed;
     const bool better =
         !have ||
         (cut.in_window && !best.in_window) ||
@@ -38,7 +51,10 @@ CarveResult BestOfCarves(const Hypergraph& hg,
       best = std::move(cut);
       have = true;
     }
+    // Safepoint: between attempts (an attempt is never abandoned midway).
+    if (cancel.Cancelled()) break;
   }
+  c_carve_attempts.Add(executed);
   return best;
 }
 
@@ -58,16 +74,39 @@ struct IterationOutcome {
   HtpFlowIteration stats;
   std::optional<TreePartition> best_partition;
   double best_cost = 0.0;
+  bool skipped = false;    ///< token fired before the iteration started
+  bool truncated = false;  ///< token fired somewhere inside the iteration
 };
+
+// Applies the budget's deterministic round cap to one metric computation
+// and attaches the shared token.
+FlowInjectionParams BudgetedInjection(const FlowInjectionParams& base,
+                                      const Budget& budget,
+                                      const CancellationToken& cancel) {
+  FlowInjectionParams injection = base;
+  if (budget.max_rounds > 0)
+    injection.max_rounds = std::min(injection.max_rounds, budget.max_rounds);
+  injection.cancel = cancel;
+  return injection;
+}
 
 // One Algorithm-1 iteration: compute a metric, construct
 // `constructions_per_metric` partitions on it, keep the cheapest (first on
 // ties). Reads only shared immutable state plus its own stream slot.
+//
+// `guarantee_result` implements the anytime floor: the first construction
+// runs to completion no matter what (its build gets an inert token), so
+// even a pre-expired deadline yields a valid partition. Every later
+// construction may be cut short by CancelledError, caught here — the
+// exception never escapes RunHtpFlow.
 IterationOutcome RunIteration(const Hypergraph& hg, const HierarchySpec& spec,
                               const HtpFlowParams& params,
-                              IterationStreams& streams) {
+                              IterationStreams& streams,
+                              const CancellationToken& cancel,
+                              bool guarantee_result) {
   const auto start = std::chrono::steady_clock::now();
-  FlowInjectionParams injection = params.injection;
+  FlowInjectionParams injection =
+      BudgetedInjection(params.injection, params.budget, cancel);
   injection.seed = streams.injection_seed;
   injection.threads = params.metric_threads;
   const FlowInjectionResult metric = ComputeSpreadingMetric(hg, spec, injection);
@@ -77,6 +116,7 @@ IterationOutcome RunIteration(const Hypergraph& hg, const HierarchySpec& spec,
   out.stats.injections = metric.injections;
   out.stats.metric_converged = metric.converged;
   out.stats.best_partition_cost = -1.0;
+  out.truncated = metric.cancelled;
 
   // The carver: in kPerSubproblem mode the whole-graph carves use the
   // metric computed above, and every proper subproblem gets a freshly
@@ -90,29 +130,46 @@ IterationOutcome RunIteration(const Hypergraph& hg, const HierarchySpec& spec,
     if (params.metric_scope == MetricScope::kPerSubproblem &&
         sub.num_nodes() < hg.num_nodes() &&
         sub.total_size() > spec.capacity(0)) {
-      FlowInjectionParams local = params.injection;
+      FlowInjectionParams local =
+          BudgetedInjection(params.injection, params.budget, cancel);
       local.seed = metric_rng.next_u64();
       local.threads = params.metric_threads;
       const FlowInjectionResult local_metric =
           ComputeSpreadingMetric(sub, spec, local);
+      if (local_metric.cancelled) out.truncated = true;
       return BestOfCarves(sub, local_metric.metric, lb, ub, rng,
-                          params.carve_attempts, params.carver);
+                          params.carve_attempts, params.carver, cancel);
     }
     return BestOfCarves(sub, sub_metric, lb, ub, rng,
-                        params.carve_attempts, params.carver);
+                        params.carve_attempts, params.carver, cancel);
   };
 
   for (std::size_t c = 0; c < params.constructions_per_metric; ++c) {
+    // Floor guarantee: the first construction must complete while no
+    // partition exists yet, so its build polls an inert token (the metric
+    // computations and carve restarts inside it still honor `cancel` and
+    // degrade to their fastest valid behaviour once it fires).
+    const bool must_finish = guarantee_result && !out.best_partition;
+    if (!must_finish && cancel.Cancelled()) {
+      out.truncated = true;
+      break;
+    }
     obs::PhaseScope construct_span(t_construct, "construction", c);
-    TreePartition tp = BuildPartitionTopDown(hg, spec, metric.metric, carve,
-                                             streams.construct_rng);
-    const double cost = PartitionCost(tp, spec);
-    if (out.stats.best_partition_cost < 0.0 ||
-        cost < out.stats.best_partition_cost)
-      out.stats.best_partition_cost = cost;
-    if (!out.best_partition || cost < out.best_cost) {
-      out.best_partition = std::move(tp);
-      out.best_cost = cost;
+    try {
+      TreePartition tp = BuildPartitionTopDown(
+          hg, spec, metric.metric, carve, streams.construct_rng,
+          must_finish ? CancellationToken{} : cancel);
+      const double cost = PartitionCost(tp, spec);
+      if (out.stats.best_partition_cost < 0.0 ||
+          cost < out.stats.best_partition_cost)
+        out.stats.best_partition_cost = cost;
+      if (!out.best_partition || cost < out.best_cost) {
+        out.best_partition = std::move(tp);
+        out.best_cost = cost;
+      }
+    } catch (const CancelledError&) {
+      out.truncated = true;
+      break;
     }
   }
   out.stats.wall_seconds =
@@ -130,12 +187,20 @@ HtpFlowResult RunHtpFlow(const Hypergraph& hg, const HierarchySpec& spec,
   HTP_CHECK(params.carve_attempts >= 1);
   obs::PhaseScope run_span(t_run);
   c_runs.Add();
-  c_iterations.Add(params.iterations);
+  // The deterministic iteration cap truncates the plan up front; because
+  // streams are forked in serial order below, the capped run equals the
+  // uncapped run's first `planned` iterations bit for bit.
+  const std::size_t planned =
+      params.budget.max_iterations > 0
+          ? std::min(params.iterations, params.budget.max_iterations)
+          : params.iterations;
+  c_iterations.Add(planned);
+  const CancellationToken cancel = StartBudget(params.budget, params.cancel);
   Rng master(params.seed);
 
   std::vector<IterationStreams> streams;
-  streams.reserve(params.iterations);
-  for (std::size_t iter = 0; iter < params.iterations; ++iter) {
+  streams.reserve(planned);
+  for (std::size_t iter = 0; iter < planned; ++iter) {
     // Braced init evaluates left to right — the serial draw order.
     streams.push_back(IterationStreams{master.fork(iter).next_u64(),
                                        master.fork(2000 + iter),
@@ -145,26 +210,70 @@ HtpFlowResult RunHtpFlow(const Hypergraph& hg, const HierarchySpec& spec,
   // Each iteration fills exactly its own slot; with threads == 1 this runs
   // inline on the calling thread. Exceptions (e.g. infeasible instances)
   // propagate from the lowest failing iteration regardless of thread count.
-  std::vector<IterationOutcome> outcomes(params.iterations);
-  ParallelFor(params.threads, params.iterations, [&](std::size_t iter) {
+  // Safepoint: between outer iterations — a fired token skips whole
+  // iterations, except iteration 0, which carries the floor guarantee.
+  std::vector<IterationOutcome> outcomes(planned);
+  ParallelFor(params.threads, planned, [&](std::size_t iter) {
+    if (iter != 0 && cancel.Cancelled()) {
+      outcomes[iter].skipped = true;
+      return;
+    }
     // The span lands on the lane of whichever worker ran this iteration.
     obs::PhaseScope iteration_span(t_iteration, "iter", iter);
-    outcomes[iter] = RunIteration(hg, spec, params, streams[iter]);
+    outcomes[iter] =
+        RunIteration(hg, spec, params, streams[iter], cancel, iter == 0);
   });
 
   // Deterministic reduction: the serial loop kept the first strictly
   // cheaper construction, i.e. the lowest (iteration, construction) index
   // achieving the minimum cost — reproduce that tie-break exactly.
-  std::size_t winner = 0;
-  for (std::size_t i = 1; i < params.iterations; ++i)
-    if (outcomes[i].best_cost < outcomes[winner].best_cost) winner = i;
+  // Skipped/fully-truncated iterations have no partition and never win;
+  // iteration 0 always has one (the floor guarantee).
+  std::size_t winner = planned;
+  std::size_t skipped = 0;
+  bool token_truncated = false;
+  for (std::size_t i = 0; i < planned; ++i) {
+    if (outcomes[i].skipped) {
+      ++skipped;
+      continue;
+    }
+    token_truncated |= outcomes[i].truncated;
+    if (!outcomes[i].best_partition) continue;
+    if (winner == planned ||
+        outcomes[i].best_cost < outcomes[winner].best_cost)
+      winner = i;
+  }
+  token_truncated |= skipped > 0;
+  HTP_CHECK_MSG(winner != planned,
+                "anytime floor violated: no construction completed");
 
   HtpFlowResult result{std::move(*outcomes[winner].best_partition),
                        outcomes[winner].best_cost,
                        {}};
-  result.iterations.reserve(params.iterations);
+  result.iterations.reserve(planned - skipped);
   for (IterationOutcome& out : outcomes)
-    result.iterations.push_back(out.stats);
+    if (!out.skipped) result.iterations.push_back(out.stats);
+
+  if (token_truncated) {
+    // A fired token is the runtime event that actually cut the run, so it
+    // outranks the deterministic iteration cap.
+    const StopReason fired = cancel.FiredReason();
+    result.stop_reason =
+        fired != StopReason::kCompleted ? fired : StopReason::kCancelled;
+    result.completed = false;
+    c_cancelled.Add();
+  } else if (planned < params.iterations) {
+    result.stop_reason = StopReason::kIterationCap;
+    result.completed = false;
+  }
+  if (skipped > 0) c_iterations_skipped.Add(skipped);
+  // Finite only when a deadline was armed (via params.budget or an already
+  // deadline-bearing params.cancel), so unbudgeted totals stay untouched.
+  const double remaining = cancel.RemainingSeconds();
+  if (remaining < Budget::kNoTimeLimit) {
+    c_budget_remaining_ms.Add(
+        static_cast<std::uint64_t>(remaining * 1000.0));
+  }
   return result;
 }
 

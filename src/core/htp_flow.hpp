@@ -77,6 +77,18 @@ struct HtpFlowParams {
   /// are bit-identical for every combination (asserted by
   /// tests/core/htp_flow_parallel_test.cpp).
   std::size_t metric_threads = 1;
+  /// Anytime controls (docs/robustness.md): optional wall-clock deadline
+  /// plus deterministic caps on injection rounds and outer iterations. The
+  /// default (unlimited) budget reproduces the pre-anytime behaviour bit
+  /// for bit. When the deadline fires, the driver still returns a *valid*
+  /// best-so-far partition: the first construction of iteration 0 always
+  /// runs to completion (the floor guarantee), everything else may be
+  /// skipped or truncated, and `HtpFlowResult::stop_reason` says why.
+  Budget budget;
+  /// Optional external cancellation handle (e.g. a signal handler's
+  /// Manual() token). Linked as the parent of the budget deadline, so
+  /// either source stops the run. Inert by default.
+  CancellationToken cancel;
 };
 
 /// Statistics of one Algorithm-1 iteration.
@@ -90,11 +102,22 @@ struct HtpFlowIteration {
   double wall_seconds = 0.0;
 };
 
-/// Outcome of Algorithm 1.
+/// Outcome of Algorithm 1. The partition is *always* valid (it passes
+/// ValidatePartition), even when a budget fired: `completed` and
+/// `stop_reason` report whether it is the full best-of-N answer or an
+/// anytime best-so-far.
 struct HtpFlowResult {
   TreePartition partition;  ///< best partition over all constructions
   double cost = 0.0;        ///< its interconnection cost (Equation (1))
+  /// Stats of the iterations that actually ran (skipped iterations are
+  /// omitted, so `iterations.size()` can be below `params.iterations`
+  /// when a budget fired).
   std::vector<HtpFlowIteration> iterations;
+  /// True iff every requested iteration ran every construction to the end.
+  bool completed = true;
+  /// Why the run stopped (kCompleted, kIterationCap, kDeadline,
+  /// kCancelled). A fired token outranks the deterministic iteration cap.
+  StopReason stop_reason = StopReason::kCompleted;
 };
 
 /// Runs Algorithm 1 (FLOW) on `hg` with respect to `spec`.

@@ -127,8 +127,11 @@ TreePartition RunGfm(const Hypergraph& hg, const HierarchySpec& spec,
           c0, std::max(rem_size - ((slots_left - 1.0) * c0 - margin),
                        rem_size / slots_left));
       SubHypergraph sub = InducedSubHypergraph(hg, remaining);
-      const CarveResult cut =
-          FmCarve(sub.hg, lb, c0, rng, params.fm_passes);
+      // Safepoint: before each phase-1 carve — degrade, never abort (see
+      // GfmParams::cancel).
+      const std::size_t passes =
+          params.cancel.Cancelled() ? 1 : params.fm_passes;
+      const CarveResult cut = FmCarve(sub.hg, lb, c0, rng, passes);
       std::vector<char> taken(sub.hg.num_nodes(), 0);
       for (NodeId local : cut.nodes) {
         taken[local] = 1;

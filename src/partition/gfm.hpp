@@ -16,6 +16,7 @@
 
 #include "core/tree_partition.hpp"
 #include "netlist/rng.hpp"
+#include "runtime/budget.hpp"
 
 namespace htp {
 
@@ -23,6 +24,11 @@ namespace htp {
 struct GfmParams {
   std::size_t fm_passes = 16;
   std::uint64_t seed = 1;
+  /// Cooperative cancellation. Like RFM, GFM cannot return a partial
+  /// construction, so a fired token degrades the remaining phase-1 FM
+  /// carves to a single pass; phase 2 (agglomeration) is cheap and always
+  /// runs. The returned partition is always complete. Inert by default.
+  CancellationToken cancel;
 };
 
 /// Runs the GFM baseline on `hg` with respect to `spec`.

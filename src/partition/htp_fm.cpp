@@ -143,6 +143,12 @@ HtpFmStats RefineHtpFm(TreePartition& tp, const HierarchySpec& spec,
   Refiner refiner(tp, spec);
   double cost = stats.initial_cost;
   for (std::size_t pass = 0; pass < params.max_passes; ++pass) {
+    // Safepoint: between passes. The best-prefix rollback has run, so the
+    // partition is valid and no worse than the input here.
+    if (params.cancel.Cancelled()) {
+      stats.completed = false;
+      break;
+    }
     ++stats.passes;
     c_passes.Add();
     obs::PhaseScope pass_span(t_pass, "pass", pass);

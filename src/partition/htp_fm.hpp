@@ -20,6 +20,7 @@
 
 #include "core/cost.hpp"
 #include "core/tree_partition.hpp"
+#include "runtime/budget.hpp"
 
 namespace htp {
 
@@ -31,6 +32,10 @@ struct HtpFmParams {
   /// pass to exhaustion; a window trades a little quality for speed).
   std::size_t early_stop_window = 0;
   std::uint64_t seed = 1;
+  /// Cooperative cancellation, polled between passes (a pass always
+  /// finishes its best-prefix rollback, so the partition stays valid and
+  /// never worse than the input). Inert by default.
+  CancellationToken cancel;
 };
 
 /// Statistics of a refinement run.
@@ -39,6 +44,8 @@ struct HtpFmStats {
   double final_cost = 0.0;
   std::size_t passes = 0;
   std::size_t moves_kept = 0;  ///< moves surviving the best-prefix rollbacks
+  /// False iff params.cancel fired and cut the pass loop short.
+  bool completed = true;
 };
 
 /// Refines `tp` in place; the result never costs more than the input and

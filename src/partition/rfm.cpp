@@ -37,8 +37,17 @@ TreePartition RunRfm(const Hypergraph& hg, const HierarchySpec& spec,
   // RFM uses no spreading metric; Algorithm 3 receives a zero metric that
   // the FM carver ignores.
   const SpreadingMetric zero(hg.num_nets(), 0.0);
-  return BuildPartitionTopDown(hg, spec, zero, FmCarver(params.fm_passes),
-                               rng);
+  // Safepoint: before each carve. RFM has no best-so-far to fall back on,
+  // so a fired token degrades the remaining carves to one FM pass instead
+  // of aborting — the fastest construction that is still valid.
+  const CarveFn carve = [&params](const Hypergraph& sub,
+                                  std::span<const double>, double lb,
+                                  double ub, Rng& r) {
+    const std::size_t passes =
+        params.cancel.Cancelled() ? 1 : params.fm_passes;
+    return FmCarve(sub, lb, ub, r, passes);
+  };
+  return BuildPartitionTopDown(hg, spec, zero, carve, rng);
 }
 
 }  // namespace htp

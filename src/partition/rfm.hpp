@@ -24,6 +24,11 @@ CarveFn FmCarver(std::size_t fm_passes = 16);
 struct RfmParams {
   std::size_t fm_passes = 16;
   std::uint64_t seed = 1;
+  /// Cooperative cancellation. A construction cannot be returned partially,
+  /// so instead of aborting, a fired token degrades every remaining FM
+  /// carve to a single pass — the fastest valid construction. The returned
+  /// partition is always complete and valid. Inert by default.
+  CancellationToken cancel;
 };
 
 /// Runs the RFM baseline: Algorithm 3 with the FM carver.

@@ -56,6 +56,15 @@ void Usage(const char* argv0) {
                "(default 1;\n"
                "                     0 = all); results are identical for "
                "every M\n"
+               "  --time-budget SEC  wall-clock budget in seconds; when it "
+               "fires,\n"
+               "                     the best partition found so far is "
+               "returned\n"
+               "                     and the run reports stop_reason="
+               "deadline\n"
+               "  --max-rounds N     cap Algorithm-2 worklist rounds per "
+               "metric\n"
+               "                     (deterministic, unlike --time-budget)\n"
                "  --refine           apply generalized FM afterwards\n"
                "  --seed S           random seed (default 1)\n"
                "  --out FILE         write the partition (default stdout "
@@ -98,6 +107,7 @@ int main(int argc, char** argv) {
   double slack = 0.10;
   bool refine = false, stats = false;
   std::uint64_t seed = 1;
+  Budget budget;
 
   // Bad usage — unknown flags, missing values, and malformed numbers alike
   // (std::stoul and friends throw on garbage) — exits 2 with the usage
@@ -122,6 +132,9 @@ int main(int argc, char** argv) {
       else if (arg("--iterations")) iterations = std::stoul(argv[++i]);
       else if (arg("--threads")) threads = std::stoul(argv[++i]);
       else if (arg("--metric-threads")) metric_threads = std::stoul(argv[++i]);
+      else if (arg("--time-budget"))
+        budget.time_budget_seconds = std::stod(argv[++i]);
+      else if (arg("--max-rounds")) budget.max_rounds = std::stoul(argv[++i]);
       else if (arg("--seed")) seed = std::stoull(argv[++i]);
       else if (arg("--out")) out_file = argv[++i];
       else if (arg("--dot")) dot_file = argv[++i];
@@ -169,6 +182,12 @@ int main(int argc, char** argv) {
         UniformHierarchy(hg.total_size(), height, branching, slack, weights);
     std::printf("hierarchy: %s\n", spec.ToString().c_str());
 
+    // The deadline is armed once, here, and shared by every stage below
+    // (construction and refinement draw from the same clock); passing the
+    // token as params.cancel rather than re-arming params.budget keeps the
+    // budget from being granted twice.
+    const CancellationToken run_token = StartBudget(budget);
+
     TreePartition tp(hg, 0);
     if (algo == "flow" || algo == "flow-mst") {
       HtpFlowParams params;
@@ -176,6 +195,8 @@ int main(int argc, char** argv) {
       params.seed = seed;
       params.threads = threads;
       params.metric_threads = metric_threads;
+      params.budget.max_rounds = budget.max_rounds;
+      params.cancel = run_token;
       if (algo == "flow-mst") params.carver = CarverKind::kMstSplit;
       // Self-describing runs: --threads 0 silently meant "all hardware
       // threads", which made timings impossible to interpret after the
@@ -185,11 +206,22 @@ int main(int argc, char** argv) {
           "%zu scan threads (--metric-threads %zu)\n",
           iterations, ResolveThreadCount(threads), threads,
           ResolveThreadCount(metric_threads), metric_threads);
-      tp = RunHtpFlow(hg, spec, params).partition;
+      HtpFlowResult result = RunHtpFlow(hg, spec, params);
+      if (!budget.Unlimited())
+        std::printf("flow: stop_reason=%s (%zu of %zu iterations ran)\n",
+                    StopReasonName(result.stop_reason),
+                    result.iterations.size(), iterations);
+      tp = std::move(result.partition);
     } else if (algo == "rfm") {
-      tp = RunRfm(hg, spec, {16, seed});
+      RfmParams rfm_params;
+      rfm_params.seed = seed;
+      rfm_params.cancel = run_token;
+      tp = RunRfm(hg, spec, rfm_params);
     } else if (algo == "gfm") {
-      tp = RunGfm(hg, spec, {16, seed});
+      GfmParams gfm_params;
+      gfm_params.seed = seed;
+      gfm_params.cancel = run_token;
+      tp = RunGfm(hg, spec, gfm_params);
     } else {
       throw Error("unknown --algo '" + algo + "'");
     }
@@ -198,9 +230,11 @@ int main(int argc, char** argv) {
     if (refine) {
       HtpFmParams params;
       params.seed = seed;
+      params.cancel = run_token;
       const HtpFmStats stats = RefineHtpFm(tp, spec, params);
-      std::printf("after FM refinement: %.0f (%zu moves kept, %zu passes)\n",
-                  stats.final_cost, stats.moves_kept, stats.passes);
+      std::printf("after FM refinement: %.0f (%zu moves kept, %zu passes%s)\n",
+                  stats.final_cost, stats.moves_kept, stats.passes,
+                  stats.completed ? "" : ", stopped by budget");
     }
     RequireValidPartition(tp, spec);
 
