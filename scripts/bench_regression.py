@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Run bench/regression_suite and compare against the committed baseline.
+
+The baseline (BENCH_htp.json at the repo root) records, per circuit, the
+deterministic work fields of a quick-mode FLOW run — cost, injections,
+dijkstra_pops — plus wall-clock seconds normalized by a fixed calibration
+kernel timed inside the same process. Comparison rules:
+
+* deterministic fields must match the baseline EXACTLY: these are covered
+  by the library's determinism contract (bit-identical for every
+  threads x metric-threads combination), so any drift is a real behavior
+  change, not noise;
+* ``normalized_wall`` may regress by at most ``--tolerance`` (default 15%).
+  Normalization by the calibration kernel makes the ratio transfer across
+  hosts of different speeds; improvements never fail the check.
+
+Usage (CI runs exactly this — see .github/workflows/ci.yml):
+
+    python3 scripts/bench_regression.py --binary build-release/bench/regression_suite \\
+        -- --quick --threads 2 --metric-threads 2
+
+Pass ``--update`` to regenerate the baseline instead of checking (commit
+the resulting BENCH_htp.json together with the change that moved the
+numbers, e.g. after retuning the quick suite or intentionally changing
+results). Stdlib only.
+"""
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE = REPO / "BENCH_htp.json"
+EXACT_FIELDS = ("cost", "injections", "dijkstra_pops")
+
+
+def run_suite(binary, extra_args):
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        out_path = pathlib.Path(tmp.name)
+    cmd = [str(binary), "--json", str(out_path)] + list(extra_args)
+    print("+ " + " ".join(cmd), flush=True)
+    subprocess.run(cmd, check=True)
+    with open(out_path) as f:
+        result = json.load(f)
+    out_path.unlink()
+    return result
+
+
+def compare(baseline, current, tolerance):
+    failures = []
+    base_by_name = {c["name"]: c for c in baseline["circuits"]}
+    cur_by_name = {c["name"]: c for c in current["circuits"]}
+    if sorted(base_by_name) != sorted(cur_by_name):
+        failures.append(
+            f"circuit sets differ: baseline {sorted(base_by_name)} vs "
+            f"current {sorted(cur_by_name)}"
+        )
+        return failures
+    for name, base in base_by_name.items():
+        cur = cur_by_name[name]
+        for field in EXACT_FIELDS:
+            if base[field] != cur[field]:
+                failures.append(
+                    f"{name}: deterministic field '{field}' changed: "
+                    f"baseline {base[field]} vs current {cur[field]} "
+                    f"(exact match required; if intended, rerun with "
+                    f"--update and commit BENCH_htp.json)"
+                )
+        ratio = cur["normalized_wall"] / base["normalized_wall"]
+        status = "ok" if ratio <= 1.0 + tolerance else "REGRESSION"
+        print(
+            f"{name}: normalized wall {base['normalized_wall']:.3f} -> "
+            f"{cur['normalized_wall']:.3f} ({ratio:.2f}x, {status})"
+        )
+        if ratio > 1.0 + tolerance:
+            failures.append(
+                f"{name}: normalized wall regressed {ratio:.2f}x "
+                f"(> {1.0 + tolerance:.2f}x allowed)"
+            )
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--binary",
+        default=str(REPO / "build-release" / "bench" / "regression_suite"),
+        help="path to the built regression_suite binary",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=str(DEFAULT_BASELINE),
+        help="committed baseline JSON (default: repo-root BENCH_htp.json)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.15,
+        help="allowed fractional normalized-wall regression (default 0.15)",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="write the baseline from this run instead of checking",
+    )
+    parser.add_argument(
+        "suite_args",
+        nargs="*",
+        help="arguments forwarded to regression_suite (after --), "
+        "e.g. --quick --threads 2 --metric-threads 2",
+    )
+    args = parser.parse_args()
+
+    current = run_suite(args.binary, args.suite_args)
+    if args.update:
+        with open(args.baseline, "w") as f:
+            json.dump(current, f, indent=2)
+            f.write("\n")
+        print(f"baseline written to {args.baseline}")
+        return 0
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    for knob in ("quick", "seed"):
+        if baseline.get(knob) != current.get(knob):
+            print(
+                f"error: baseline was recorded with {knob}="
+                f"{baseline.get(knob)} but this run used {current.get(knob)}",
+                file=sys.stderr,
+            )
+            return 1
+    failures = compare(baseline, current, args.tolerance)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print("bench regression check passed")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -153,8 +153,8 @@ FlowInjectionResult ComputePairPathSpreadingMetric(
       if (tree.order.size() < 2) continue;  // lone oversized node
       const NodeId u = tree.order[1 + rng.next_below(tree.order.size() - 1)];
       for (NodeId x = u; x != v && x != kInvalidNode;
-           x = tree.parent_node[x]) {
-        const NetId e = tree.parent_net[x];
+           x = tree.parent[x].node) {
+        const NetId e = tree.parent[x].net;
         if (e == kInvalidNet) break;
         result.flow[e] += params.delta;
         update_length(e);

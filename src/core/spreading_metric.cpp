@@ -48,6 +48,10 @@ std::optional<SpreadingViolation> FindViolationFrom(
     const SpreadingMetric& metric, NodeId source, double tolerance) {
   HTP_CHECK(metric.size() == hg.num_nets());
   std::optional<SpreadingViolation> found;
+  // g is nondecreasing (weights are validated nonnegative), so g(s(V))
+  // bounds every rhs the growth can still produce; once the nondecreasing
+  // lhs clears it no later prefix can violate — stop growing.
+  const double g_cap = spec.g(hg.total_size());
   ShortestPathTree tree = GrowShortestPathTree(
       hg, source, metric, [&](const GrowState& state) {
         const double rhs = spec.g(state.tree_size);
@@ -60,6 +64,8 @@ std::optional<SpreadingViolation> FindViolationFrom(
                                      {}};
           return GrowAction::kStop;
         }
+        if (state.weighted_dist + tolerance >= g_cap)
+          return GrowAction::kStop;
         return GrowAction::kContinue;
       });
   if (found) found->tree = std::move(tree);
@@ -99,7 +105,7 @@ struct ViolationScanner::Worker {
 ViolationScanner::ViolationScanner(const Hypergraph& hg,
                                    const HierarchySpec& spec,
                                    std::size_t threads)
-    : hg_(hg), spec_(spec) {
+    : hg_(hg), spec_(spec), csr_(hg), g_cap_(spec.g(hg.total_size())) {
   workers_ = ResolveThreadCount(threads);
   // Nested-parallelism guard: inside a parallel FLOW iteration each pool
   // worker gets a serial scanner instead of a pool-within-a-pool.
@@ -140,7 +146,7 @@ std::optional<ViolationScanner::ScanHit> ViolationScanner::FindFirstViolation(
       slot.stats = DijkstraStats{};
       bool cancelled = false;
       worker.workspace.Grow(
-          hg_, candidates[i], metric,
+          csr_, candidates[i], metric,
           [&](const GrowState& state) {
             if (first_violation.load(std::memory_order_relaxed) < i) {
               cancelled = true;
@@ -155,6 +161,11 @@ std::optional<ViolationScanner::ScanHit> ViolationScanner::FindFirstViolation(
               slot.rhs = rhs;
               return GrowAction::kStop;
             }
+            // No remaining prefix can violate: lhs is nondecreasing and
+            // g_cap_ = g(s(V)) bounds every future rhs. Deterministic —
+            // a pure function of (source, metric) — so thread-invariant.
+            if (state.weighted_dist + tolerance >= g_cap_)
+              return GrowAction::kStop;
             return GrowAction::kContinue;
           },
           worker.tree, &slot.stats);

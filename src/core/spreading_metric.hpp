@@ -26,6 +26,7 @@
 #include "core/cost.hpp"
 #include "core/hierarchy.hpp"
 #include "core/tree_partition.hpp"
+#include "graph/csr_view.hpp"
 #include "graph/dijkstra.hpp"
 
 namespace htp {
@@ -83,6 +84,13 @@ std::optional<SpreadingViolation> CheckSpreadingMetric(
 /// into a pre-sized slot; an early-cancel flag stops a worker as soon as a
 /// lower-indexed violation exists, since its result could never commit.
 ///
+/// Hot path: trees grow over a CsrView built once at construction (one
+/// lowering per metric computation, shared read-only by every worker) and
+/// each growth stops early once no remaining prefix of S(v,k) can violate
+/// (5) — g is nondecreasing, so g(s(V)) bounds every future right-hand side
+/// (docs/algorithms.md, "CSR hot path"). The early exit is a pure function
+/// of (source, metric), so it never disturbs determinism.
+///
 /// Determinism contract: the returned hit, the committed dijkstra.* counter
 /// totals, and the flow.scan_* counters are bit-identical for every
 /// `threads` value (asserted by tests/core/htp_flow_parallel_test.cpp);
@@ -130,6 +138,8 @@ class ViolationScanner {
 
   const Hypergraph& hg_;
   const HierarchySpec& spec_;
+  CsrView csr_;        ///< shared read-only adjacency for all workers
+  double g_cap_ = 0.0; ///< g(s(V)): upper bound on every rhs of family (5)
   std::size_t workers_ = 1;
   std::unique_ptr<ThreadPool> pool_;
   std::unique_ptr<Worker[]> worker_state_;

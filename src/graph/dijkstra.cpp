@@ -45,6 +45,22 @@ ShortestPathTree Dijkstra(const Hypergraph& hg, NodeId source,
                               [](const GrowState&) { return GrowAction::kContinue; });
 }
 
+ShortestPathTree GrowShortestPathTree(
+    const CsrView& view, NodeId source, std::span<const double> net_length,
+    const std::function<GrowAction(const GrowState&)>& visitor) {
+  ShortestPathTree tree;
+  DijkstraStats stats;
+  ThreadWorkspace().Grow(view, source, net_length, visitor, tree, &stats);
+  RecordDijkstraCounters(stats, 1);
+  return tree;
+}
+
+ShortestPathTree Dijkstra(const CsrView& view, NodeId source,
+                          std::span<const double> net_length) {
+  return GrowShortestPathTree(view, source, net_length,
+                              [](const GrowState&) { return GrowAction::kContinue; });
+}
+
 std::vector<NetId> TreeNets(const ShortestPathTree& tree) {
   std::vector<NetId> nets;
   TreeNetsInto(tree, nets);
@@ -54,7 +70,7 @@ std::vector<NetId> TreeNets(const ShortestPathTree& tree) {
 void TreeNetsInto(const ShortestPathTree& tree, std::vector<NetId>& nets) {
   nets.clear();
   for (NodeId u : tree.order)
-    if (tree.parent_net[u] != kInvalidNet) nets.push_back(tree.parent_net[u]);
+    if (tree.parent[u].net != kInvalidNet) nets.push_back(tree.parent[u].net);
   std::sort(nets.begin(), nets.end());
   nets.erase(std::unique(nets.begin(), nets.end()), nets.end());
 }
@@ -68,8 +84,8 @@ std::vector<std::pair<NetId, double>> TreeSubtreeSizes(
   for (NodeId u : tree.order) subtree[u] = hg.node_size(u);
   for (auto it = tree.order.rbegin(); it != tree.order.rend(); ++it) {
     const NodeId u = *it;
-    if (tree.parent_node[u] != kInvalidNode)
-      subtree[tree.parent_node[u]] += subtree[u];
+    if (tree.parent[u].node != kInvalidNode)
+      subtree[tree.parent[u].node] += subtree[u];
   }
   // delta(S, e): removing net e disconnects every tree child attached
   // through e, so sum the subtree weights over nodes whose parent net is e.
@@ -79,7 +95,7 @@ std::vector<std::pair<NetId, double>> TreeSubtreeSizes(
   for (NetId e : nets) result.emplace_back(e, 0.0);
   // Binary-search position per parent net (nets is sorted).
   for (NodeId u : tree.order) {
-    const NetId e = tree.parent_net[u];
+    const NetId e = tree.parent[u].net;
     if (e == kInvalidNet) continue;
     const auto it =
         std::lower_bound(nets.begin(), nets.end(), e);

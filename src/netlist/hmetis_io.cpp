@@ -46,6 +46,14 @@ Hypergraph ParseHmetis(std::string_view text) {
   if (!(header >> num_nets >> num_nodes)) Fail(line_no, "bad header");
   header >> fmt;  // optional
   if (num_nets < 0 || num_nodes < 0) Fail(line_no, "negative counts");
+  // Sanity-cap the header before it drives any allocation: every declared
+  // net costs at least one input character (its line), and every node at
+  // least one character somewhere (a pin reference or a weight line), so a
+  // count beyond the input length is a malformed — possibly hostile —
+  // header, not a big circuit.
+  if (static_cast<unsigned long long>(num_nets) > text.size() ||
+      static_cast<unsigned long long>(num_nodes) > text.size())
+    Fail(line_no, "header counts exceed input size");
   if (fmt != 0 && fmt != 1 && fmt != 10 && fmt != 11)
     Fail(line_no, "unsupported fmt " + std::to_string(fmt));
   const bool net_weights = fmt == 1 || fmt == 11;
@@ -72,6 +80,7 @@ Hypergraph ParseHmetis(std::string_view text) {
     }
     if (!ls.eof()) Fail(line_no, "trailing junk on net line");
     if (net.capacity <= 0.0) Fail(line_no, "net weight must be positive");
+    if (net.pins.empty()) Fail(line_no, "net with no pins");
     nets.push_back(std::move(net));
   }
 

@@ -183,11 +183,15 @@ TEST(HtpFlowParallel, MetricThreadsCrossProductIsBitIdentical) {
 
   const Run reference = run(1, 1);
   RequireValidPartition(reference.result.partition, spec);
+  // The full {1,2,8} x {1,2,8} cross-product (minus the reference itself).
   for (const auto [threads, metric_threads] :
        {std::pair<std::size_t, std::size_t>{1, 2},
         {1, 8},
         {2, 1},
         {2, 2},
+        {2, 8},
+        {8, 1},
+        {8, 2},
         {8, 8}}) {
     SCOPED_TRACE(testing::Message() << "threads=" << threads
                                     << " metric_threads=" << metric_threads);

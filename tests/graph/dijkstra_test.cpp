@@ -115,8 +115,8 @@ TEST_P(DijkstraPropertyTest, ParentEdgesFormConsistentTree) {
   const ShortestPathTree tree = Dijkstra(hg, 0, len);
   for (NodeId v : tree.order) {
     if (v == 0) continue;
-    const NodeId p = tree.parent_node[v];
-    const NetId e = tree.parent_net[v];
+    const NodeId p = tree.parent[v].node;
+    const NetId e = tree.parent[v].net;
     ASSERT_NE(p, kInvalidNode);
     ASSERT_NE(e, kInvalidNet);
     EXPECT_TRUE(tree.settled(p));
@@ -148,8 +148,7 @@ INSTANTIATE_TEST_SUITE_P(Seeds, DijkstraPropertyTest,
 void ExpectSameTree(const ShortestPathTree& a, const ShortestPathTree& b) {
   EXPECT_EQ(a.source, b.source);
   EXPECT_EQ(a.order, b.order);
-  EXPECT_EQ(a.parent_net, b.parent_net);
-  EXPECT_EQ(a.parent_node, b.parent_node);
+  EXPECT_EQ(a.parent, b.parent);
   ASSERT_EQ(a.dist.size(), b.dist.size());
   for (std::size_t v = 0; v < a.dist.size(); ++v)
     EXPECT_EQ(a.dist[v], b.dist[v]) << "node " << v;  // bitwise, incl. inf
