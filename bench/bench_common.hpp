@@ -21,6 +21,9 @@
 //   --max-rounds <n>   deterministic cap on Algorithm-2 worklist rounds per
 //                      metric computation (bit-identical for every thread
 //                      count, unlike --time-budget)
+//   --oracle-sample <f> sampled separation oracle fraction in [0,1] for the
+//                      flow-injection metric (0 or 1 = exact, the default;
+//                      docs/scaling.md)
 //   --bench-dir <dir>  load real ISCAS85 .bench files named <circuit>.bench
 //                      from <dir> instead of the calibrated generators
 //   --obs-jsonl <file> append the telemetry snapshot of each measured
@@ -37,6 +40,8 @@
 #include <string>
 #include <vector>
 
+#include "graph/csr_view.hpp"
+#include "graph/dijkstra.hpp"
 #include "netlist/bench_parser.hpp"
 #include "netlist/generators.hpp"
 #include "obs/obs.hpp"
@@ -54,6 +59,9 @@ struct Options {
   /// Anytime knobs applied to every FLOW run (--time-budget / --max-rounds;
   /// default unlimited = the exact unbudgeted tables).
   Budget budget;
+  /// Sampled separation oracle fraction (FlowInjectionParams::oracle_sample;
+  /// 0 = exact). Benches that honor it say so in their header.
+  double oracle_sample = 0.0;
   std::string bench_dir;
   std::string obs_jsonl;  ///< JSONL telemetry stream path ("" = off)
 
@@ -88,6 +96,8 @@ inline Options ParseArgs(int argc, char** argv) {
       }
     } else if (std::strcmp(argv[i], "--max-rounds") == 0 && i + 1 < argc) {
       options.budget.max_rounds = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--oracle-sample") == 0 && i + 1 < argc) {
+      options.oracle_sample = std::strtod(argv[++i], nullptr);
     } else if (std::strcmp(argv[i], "--bench-dir") == 0 && i + 1 < argc) {
       options.bench_dir = argv[++i];
     } else if (std::strcmp(argv[i], "--obs-jsonl") == 0 && i + 1 < argc) {
@@ -96,7 +106,7 @@ inline Options ParseArgs(int argc, char** argv) {
       std::fprintf(stderr,
                    "unknown argument '%s' (supported: --quick, --seed N, "
                    "--trials N, --threads N, --metric-threads N, "
-                   "--time-budget S, --max-rounds N, "
+                   "--time-budget S, --max-rounds N, --oracle-sample F, "
                    "--bench-dir DIR, --obs-jsonl FILE)\n",
                    argv[i]);
       std::exit(2);
@@ -134,6 +144,32 @@ double TimeSeconds(Fn&& fn) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                        start)
       .count();
+}
+
+/// Fixed deterministic workload (independent of the suite under test): full
+/// CSR Dijkstra sweeps over a mid-size generated circuit. Scales with the
+/// host's single-core speed the same way the metric phase does, which is
+/// what makes wall ratios normalized by it comparable across machines.
+/// Shared by every bench that feeds the regression gate (regression_suite,
+/// multilevel_scale) so their "normalized_wall" columns share one unit.
+inline double CalibrationSeconds() {
+  const Hypergraph hg = MakeIscas85Like("c1355", 7);
+  const CsrView view(hg);
+  const std::vector<double> len(hg.num_nets(), 1.0);
+  DijkstraWorkspace workspace;
+  ShortestPathTree tree;
+  double sink = 0.0;
+  const double seconds = TimeSeconds([&] {
+    for (int rep = 0; rep < 6; ++rep)
+      for (NodeId source = 0; source < hg.num_nodes(); source += 7) {
+        workspace.Grow(
+            view, source, len,
+            [](const GrowState&) { return GrowAction::kContinue; }, tree);
+        sink += tree.dist[tree.order.back()];
+      }
+  });
+  if (sink < 0.0) std::printf("impossible\n");  // keep the work observable
+  return seconds;
 }
 
 /// Value of a counter in a snapshot (0 when absent, e.g. obs off).

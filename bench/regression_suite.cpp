@@ -18,34 +18,8 @@
 
 #include "bench_common.hpp"
 #include "core/htp_flow.hpp"
-#include "graph/csr_view.hpp"
 
 namespace {
-
-// Fixed deterministic workload (independent of the suite under test): full
-// CSR Dijkstra sweeps over a mid-size generated circuit. Scales with the
-// host's single-core speed the same way the metric phase does, which is
-// what makes normalized wall ratios comparable across machines.
-double CalibrationSeconds() {
-  using namespace htp;
-  const Hypergraph hg = MakeIscas85Like("c1355", 7);
-  const CsrView view(hg);
-  const std::vector<double> len(hg.num_nets(), 1.0);
-  DijkstraWorkspace workspace;
-  ShortestPathTree tree;
-  double sink = 0.0;
-  const double seconds = bench::TimeSeconds([&] {
-    for (int rep = 0; rep < 6; ++rep)
-      for (NodeId source = 0; source < hg.num_nodes(); source += 7) {
-        workspace.Grow(
-            view, source, len,
-            [](const GrowState&) { return GrowAction::kContinue; }, tree);
-        sink += tree.dist[tree.order.back()];
-      }
-  });
-  if (sink < 0.0) std::printf("impossible\n");  // keep the work observable
-  return seconds;
-}
 
 struct CircuitRow {
   std::string name;
@@ -76,7 +50,7 @@ int main(int argc, char** argv) {
                      "circuit (see docs/benchmarks.md)",
                      options);
 
-  const double calibration = CalibrationSeconds();
+  const double calibration = bench::CalibrationSeconds();
   std::printf("calibration kernel: %.3fs\n", calibration);
   std::printf("%-8s %12s %12s %10s %14s %14s\n", "circuit", "FLOW(s)",
               "FLOW(norm)", "cost", "dijkstra pops", "metric ms");

@@ -23,6 +23,17 @@ Pass ``--update`` to regenerate the baseline instead of checking (commit
 the resulting BENCH_htp.json together with the change that moved the
 numbers, e.g. after retuning the quick suite or intentionally changing
 results). Stdlib only.
+
+The baseline holds one row list per gated bench: ``circuits`` for
+bench/regression_suite (the default) and ``multilevel`` for
+bench/multilevel_scale. ``--section NAME`` selects which baseline list the
+current run's rows are compared against (the suite binary always emits its
+rows under ``circuits`` in its own output); ``--update --section NAME``
+rewrites only that list, leaving the others untouched:
+
+    python3 scripts/bench_regression.py \\
+        --binary build-release/bench/multilevel_scale --section multilevel \\
+        -- --quick --threads 2 --metric-threads 2
 """
 
 import argparse
@@ -49,10 +60,10 @@ def run_suite(binary, extra_args):
     return result
 
 
-def compare(baseline, current, tolerance):
+def compare(baseline_rows, current_rows, tolerance):
     failures = []
-    base_by_name = {c["name"]: c for c in baseline["circuits"]}
-    cur_by_name = {c["name"]: c for c in current["circuits"]}
+    base_by_name = {c["name"]: c for c in baseline_rows}
+    cur_by_name = {c["name"]: c for c in current_rows}
     if sorted(base_by_name) != sorted(cur_by_name):
         failures.append(
             f"circuit sets differ: baseline {sorted(base_by_name)} vs "
@@ -107,6 +118,12 @@ def main():
         help="write the baseline from this run instead of checking",
     )
     parser.add_argument(
+        "--section",
+        default="circuits",
+        help="baseline row list to compare/update (default 'circuits'; "
+        "multilevel_scale rows live under 'multilevel')",
+    )
+    parser.add_argument(
         "suite_args",
         nargs="*",
         help="arguments forwarded to regression_suite (after --), "
@@ -116,10 +133,21 @@ def main():
 
     current = run_suite(args.binary, args.suite_args)
     if args.update:
-        with open(args.baseline, "w") as f:
-            json.dump(current, f, indent=2)
+        # Replace only the selected section; other gated benches' baselines
+        # (and the shared knob fields, when untouched) survive the rewrite.
+        baseline_path = pathlib.Path(args.baseline)
+        baseline = {}
+        if baseline_path.exists():
+            with open(baseline_path) as f:
+                baseline = json.load(f)
+        for key, value in current.items():
+            if key != "circuits":
+                baseline[key] = value
+        baseline[args.section] = current["circuits"]
+        with open(baseline_path, "w") as f:
+            json.dump(baseline, f, indent=2)
             f.write("\n")
-        print(f"baseline written to {args.baseline}")
+        print(f"baseline section '{args.section}' written to {args.baseline}")
         return 0
 
     with open(args.baseline) as f:
@@ -132,7 +160,15 @@ def main():
                 file=sys.stderr,
             )
             return 1
-    failures = compare(baseline, current, args.tolerance)
+    if args.section not in baseline:
+        print(
+            f"error: baseline has no '{args.section}' section; regenerate "
+            f"with --update --section {args.section}",
+            file=sys.stderr,
+        )
+        return 1
+    failures = compare(baseline[args.section], current["circuits"],
+                       args.tolerance)
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)
     if not failures:

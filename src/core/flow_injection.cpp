@@ -21,7 +21,31 @@ obs::Counter c_converged("flow.converged");
 // Metric computations cut short by a fired CancellationToken. Non-zero only
 // when a budget actually fires, so unbudgeted totals stay bit-identical.
 obs::Counter c_rounds_truncated("flow.rounds_truncated");
+// Sources dropped by the sampled separation oracle (oracle_sample in
+// (0,1)); zero on exact runs, so exact totals are untouched by the knob.
+obs::Counter c_oracle_skipped("flow.oracle_skipped_sources");
 obs::Timer t_compute_metric("flow.compute_metric");
+
+// Applies FlowInjectionParams::oracle_sample to a freshly initialized
+// worklist: keeps a deterministic random subset of ceil(fraction * n)
+// sources, restored to ascending id order (the round loop shuffles again
+// anyway; the sort just makes the sample a canonical set). Draws from `rng`
+// only when sampling is active, so the exact path's RNG stream — and with
+// it every pre-existing seed's result — is bit-for-bit unchanged.
+void MaybeSampleWorklist(std::vector<NodeId>& worklist, double fraction,
+                         Rng& rng) {
+  HTP_CHECK_MSG(fraction >= 0.0 && fraction <= 1.0,
+                "oracle_sample must lie in [0, 1]");
+  if (fraction <= 0.0 || fraction >= 1.0) return;
+  const std::size_t keep = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::ceil(fraction * static_cast<double>(worklist.size()))));
+  if (keep >= worklist.size()) return;
+  rng.shuffle(worklist);
+  c_oracle_skipped.Add(worklist.size() - keep);
+  worklist.resize(keep);
+  std::sort(worklist.begin(), worklist.end());
+}
 
 }  // namespace
 
@@ -49,6 +73,7 @@ FlowInjectionResult ComputeSpreadingMetric(const Hypergraph& hg,
   // leaves the worklist permanently.
   std::vector<NodeId> worklist(hg.num_nodes());
   for (NodeId v = 0; v < hg.num_nodes(); ++v) worklist[v] = v;
+  MaybeSampleWorklist(worklist, params.oracle_sample, rng);
   std::vector<NodeId> still_violated;
 
   // Each round is a sequence of scan/commit batches over the shuffled
@@ -131,6 +156,7 @@ FlowInjectionResult ComputePairPathSpreadingMetric(
 
   std::vector<NodeId> worklist(hg.num_nodes());
   for (NodeId v = 0; v < hg.num_nodes(); ++v) worklist[v] = v;
+  MaybeSampleWorklist(worklist, params.oracle_sample, rng);
 
   while (!worklist.empty() && result.rounds < params.max_rounds) {
     // Same safepoint placement as ComputeSpreadingMetric: round top and

@@ -32,6 +32,13 @@
 // nets order and pins preserve the per-net pin order, so relaxations happen
 // in the same sequence with the same tie-breaks.
 //
+// Scale limit: pin offsets are 32-bit, so the chosen layout's pin-entry
+// count (sum_e |e|*(|e|-1) duplicated, |pins| shared) must fit in uint32 —
+// the constructor throws "hypergraph too large for 32-bit CSR pin offsets"
+// otherwise. kAuto stays comfortably inside that for the 100k-node circuits
+// the multilevel driver targets (docs/scaling.md); generators.cpp itself
+// indexes with std::size_t and has no sub-32-bit assumptions.
+//
 // Thread safety: immutable after construction; shared read-only by all
 // DijkstraWorkspace instances of a ViolationScanner.
 #pragma once

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <queue>
+#include <unordered_map>
 
 namespace htp {
 
@@ -73,6 +74,53 @@ SubHypergraph ContractClusters(const Hypergraph& parent,
   sub.hg = builder.build();
   HTP_CHECK(sub.hg.num_nets() == sub.net_to_parent.size());
   return sub;
+}
+
+Hypergraph ContractClustersMerged(const Hypergraph& parent,
+                                  std::span<const BlockId> cluster_of,
+                                  BlockId num_clusters) {
+  HTP_CHECK(cluster_of.size() == parent.num_nodes());
+  HypergraphBuilder builder;
+  std::vector<double> sizes(num_clusters, 0.0);
+  for (NodeId v = 0; v < parent.num_nodes(); ++v) {
+    HTP_CHECK_MSG(cluster_of[v] < num_clusters, "cluster id out of range");
+    sizes[cluster_of[v]] += parent.node_size(v);
+  }
+  for (BlockId c = 0; c < num_clusters; ++c) {
+    HTP_CHECK_MSG(sizes[c] > 0.0, "empty cluster in contraction");
+    builder.add_node(sizes[c]);
+  }
+
+  // Dedupe by contracted pin set: the map only looks up, so the coarse net
+  // order (and therefore the built hypergraph) is hash-independent.
+  struct SpanHash {
+    std::size_t operator()(const std::vector<NodeId>& pins) const {
+      std::size_t h = pins.size();
+      for (NodeId p : pins) h = h * 1000003u + p;
+      return h;
+    }
+  };
+  std::unordered_map<std::vector<NodeId>, std::size_t, SpanHash> seen;
+  std::vector<std::vector<NodeId>> pin_sets;
+  std::vector<double> capacities;
+  std::vector<NodeId> touched;
+  for (NetId pe = 0; pe < parent.num_nets(); ++pe) {
+    touched.clear();
+    for (NodeId pin : parent.pins(pe)) touched.push_back(cluster_of[pin]);
+    std::sort(touched.begin(), touched.end());
+    touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+    if (touched.size() < 2) continue;
+    auto [it, inserted] = seen.try_emplace(touched, pin_sets.size());
+    if (inserted) {
+      pin_sets.push_back(touched);
+      capacities.push_back(parent.net_capacity(pe));
+    } else {
+      capacities[it->second] += parent.net_capacity(pe);
+    }
+  }
+  for (std::size_t i = 0; i < pin_sets.size(); ++i)
+    builder.add_net(pin_sets[i], capacities[i]);
+  return builder.build();
 }
 
 Components ConnectedComponents(const Hypergraph& hg) {

@@ -39,6 +39,19 @@ SubHypergraph ContractClusters(const Hypergraph& parent,
                                std::span<const BlockId> cluster_of,
                                BlockId num_clusters);
 
+/// Contraction for multilevel coarsening: like ContractClusters, but nets
+/// whose contracted pin sets coincide are merged into one coarse net whose
+/// capacity is the sum of the merged capacities. Equation-(1) costs are
+/// additive in capacity, so a partition of the merged coarse hypergraph has
+/// exactly the cost of the same partition of the unmerged one — merging
+/// only shrinks the instance (no net-id mapping survives, which is why the
+/// coarsener keeps node mementos only). Coarse net order is the first-
+/// occurrence order of each distinct pin set, so the result is a pure
+/// function of the input (no hashing order leaks out).
+Hypergraph ContractClustersMerged(const Hypergraph& parent,
+                                  std::span<const BlockId> cluster_of,
+                                  BlockId num_clusters);
+
 /// Connected components over the hypergraph (two nodes are adjacent when
 /// they share a net). Returns per-node component id in [0, count).
 struct Components {

@@ -18,6 +18,9 @@ obs::Counter c_moves_kept("fm.moves_kept");
 // Accepted (best-prefix) gain, in cost milli-units: gains are deterministic
 // doubles, rounded once here so the counter stays an exact integer total.
 obs::Counter c_gain_milli("fm.accepted_gain_milli");
+// Nodes seeded into the heap by boundary-only passes; zero unless
+// HtpFmParams::boundary_only is set, so full-pass totals are untouched.
+obs::Counter c_boundary_seeds("fm.boundary_seeds");
 obs::Timer t_refine("fm.refine");
 obs::Timer t_pass("fm.pass");
 
@@ -52,17 +55,44 @@ class Refiner {
     return best;
   }
 
+  // Marks every node incident to a net spanning >= 2 leaves. One O(pins)
+  // sweep per pass; a pure function of the current partition, so the
+  // boundary-seeded pass is exactly as deterministic as the full one.
+  void MarkBoundary(std::vector<char>& boundary) const {
+    std::fill(boundary.begin(), boundary.end(), 0);
+    for (NetId e = 0; e < hg_.num_nets(); ++e) {
+      const auto pins = hg_.pins(e);
+      const BlockId first = tp_.leaf_of(pins.front());
+      bool spans = false;
+      for (NodeId u : pins)
+        if (tp_.leaf_of(u) != first) {
+          spans = true;
+          break;
+        }
+      if (!spans) continue;
+      for (NodeId u : pins) boundary[u] = 1;
+    }
+  }
+
   // One FM pass; returns the realized (best-prefix) gain.
-  double Pass(std::size_t early_stop_window, std::size_t& moves_kept) {
+  double Pass(std::size_t early_stop_window, bool boundary_only,
+              std::size_t& moves_kept) {
     std::fill(locked_.begin(), locked_.end(), 0);
     std::priority_queue<HeapEntry> heap;
     auto push_best = [&](NodeId v) {
       if (auto best = BestMove(v))
         heap.push({best->gain, v, best->target, stamp_[v]});
     };
+    std::vector<char> boundary;
+    if (boundary_only) {
+      boundary.resize(hg_.num_nodes());
+      MarkBoundary(boundary);
+      c_boundary_seeds.Add(static_cast<std::uint64_t>(
+          std::count(boundary.begin(), boundary.end(), char{1})));
+    }
     for (NodeId v = 0; v < hg_.num_nodes(); ++v) {
       ++stamp_[v];
-      push_best(v);
+      if (!boundary_only || boundary[v]) push_best(v);
     }
 
     std::vector<std::pair<NodeId, BlockId>> log;  // (node, previous leaf)
@@ -152,8 +182,8 @@ HtpFmStats RefineHtpFm(TreePartition& tp, const HierarchySpec& spec,
     ++stats.passes;
     c_passes.Add();
     obs::PhaseScope pass_span(t_pass, "pass", pass);
-    const double gain =
-        refiner.Pass(params.early_stop_window, stats.moves_kept);
+    const double gain = refiner.Pass(params.early_stop_window,
+                                     params.boundary_only, stats.moves_kept);
     cost -= gain;
     if (gain <= 1e-12) break;
   }

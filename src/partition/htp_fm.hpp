@@ -31,6 +31,16 @@ struct HtpFmParams {
   /// moves without improving on the pass's best prefix (classic FM runs the
   /// pass to exhaustion; a window trades a little quality for speed).
   std::size_t early_stop_window = 0;
+  /// When true, a pass seeds its move heap with boundary nodes only (nodes
+  /// touching a net that spans >= 2 leaves) instead of every node. Interior
+  /// nodes still enter the heap as soon as a neighbor's move makes them
+  /// relevant (the neighborhood refresh is unchanged), so the usual FM
+  /// hill-climb is preserved where the action is — but a pass over a mostly
+  /// settled partition costs O(boundary) instead of O(n). This is the
+  /// localization the multilevel uncoarsening uses on projected partitions,
+  /// where almost every node is interior (docs/scaling.md). Deterministic:
+  /// the boundary set is a pure function of the current partition.
+  bool boundary_only = false;
   std::uint64_t seed = 1;
   /// Cooperative cancellation, polled between passes (a pass always
   /// finishes its best-prefix rollback, so the partition stays valid and

@@ -21,6 +21,7 @@
 
 #include "core/htp_flow.hpp"
 #include "core/dot_export.hpp"
+#include "multilevel/multilevel_flow.hpp"
 #include "core/partition_io.hpp"
 #include "netlist/bench_parser.hpp"
 #include "netlist/generators.hpp"
@@ -65,6 +66,21 @@ void Usage(const char* argv0) {
                "  --max-rounds N     cap Algorithm-2 worklist rounds per "
                "metric\n"
                "                     (deterministic, unlike --time-budget)\n"
+               "  --multilevel       coarsen -> partition -> uncoarsen "
+               "pipeline\n"
+               "                     for large netlists (flow algos only; "
+               "see\n"
+               "                     docs/scaling.md)\n"
+               "  --coarsen-threshold N\n"
+               "                     stop coarsening at N supernodes "
+               "(default 800);\n"
+               "                     inputs already below N run flat\n"
+               "  --oracle-sample F  sampled separation oracle: check "
+               "family-(5)\n"
+               "                     constraints from a ceil(F*n) sample of "
+               "sources\n"
+               "                     per metric (0 or 1 = exact, the "
+               "default)\n"
                "  --refine           apply generalized FM afterwards\n"
                "  --seed S           random seed (default 1)\n"
                "  --out FILE         write the partition (default stdout "
@@ -105,7 +121,9 @@ int main(int argc, char** argv) {
   Level height = 4;
   std::size_t branching = 2, iterations = 4, threads = 0, metric_threads = 1;
   double slack = 0.10;
-  bool refine = false, stats = false;
+  bool refine = false, stats = false, multilevel = false;
+  std::size_t coarsen_threshold = 800;
+  double oracle_sample = 0.0;
   std::uint64_t seed = 1;
   Budget budget;
 
@@ -135,6 +153,10 @@ int main(int argc, char** argv) {
       else if (arg("--time-budget"))
         budget.time_budget_seconds = std::stod(argv[++i]);
       else if (arg("--max-rounds")) budget.max_rounds = std::stoul(argv[++i]);
+      else if (arg("--coarsen-threshold"))
+        coarsen_threshold = std::stoul(argv[++i]);
+      else if (arg("--oracle-sample")) oracle_sample = std::stod(argv[++i]);
+      else if (std::strcmp(argv[i], "--multilevel") == 0) multilevel = true;
       else if (arg("--seed")) seed = std::stoull(argv[++i]);
       else if (arg("--out")) out_file = argv[++i];
       else if (arg("--dot")) dot_file = argv[++i];
@@ -188,6 +210,9 @@ int main(int argc, char** argv) {
     // budget from being granted twice.
     const CancellationToken run_token = StartBudget(budget);
 
+    if (multilevel && algo != "flow" && algo != "flow-mst")
+      throw Error("--multilevel requires --algo flow or flow-mst");
+
     TreePartition tp(hg, 0);
     if (algo == "flow" || algo == "flow-mst") {
       HtpFlowParams params;
@@ -197,6 +222,7 @@ int main(int argc, char** argv) {
       params.metric_threads = metric_threads;
       params.budget.max_rounds = budget.max_rounds;
       params.cancel = run_token;
+      params.injection.oracle_sample = oracle_sample;
       if (algo == "flow-mst") params.carver = CarverKind::kMstSplit;
       // Self-describing runs: --threads 0 silently meant "all hardware
       // threads", which made timings impossible to interpret after the
@@ -206,12 +232,39 @@ int main(int argc, char** argv) {
           "%zu scan threads (--metric-threads %zu)\n",
           iterations, ResolveThreadCount(threads), threads,
           ResolveThreadCount(metric_threads), metric_threads);
-      HtpFlowResult result = RunHtpFlow(hg, spec, params);
-      if (!budget.Unlimited())
-        std::printf("flow: stop_reason=%s (%zu of %zu iterations ran)\n",
-                    StopReasonName(result.stop_reason),
-                    result.iterations.size(), iterations);
-      tp = std::move(result.partition);
+      if (multilevel) {
+        MultilevelParams ml;
+        ml.flow = params;
+        ml.coarsen_threshold = static_cast<NodeId>(coarsen_threshold);
+        MultilevelResult result = RunMultilevelFlow(hg, spec, ml);
+        std::printf(
+            "multilevel: %zu coarsening levels, coarsest %u nodes, "
+            "coarse cost %.0f%s\n",
+            result.coarsen_levels, result.coarsest_nodes, result.coarse_cost,
+            result.feasibility_fallbacks
+                ? (" (" + std::to_string(result.feasibility_fallbacks) +
+                   " infeasible levels discarded)")
+                      .c_str()
+                : "");
+        for (std::size_t i = 0; i < result.level_stats.size(); ++i) {
+          const MultilevelLevelStats& s = result.level_stats[i];
+          std::printf("  uncoarsen level %zu: %u nodes, %.0f -> %.0f "
+                      "(%zu FM passes)\n",
+                      result.level_stats.size() - 1 - i, s.nodes,
+                      s.projected_cost, s.refined_cost, s.fm_passes);
+        }
+        if (!budget.Unlimited())
+          std::printf("multilevel: stop_reason=%s\n",
+                      StopReasonName(result.stop_reason));
+        tp = std::move(result.partition);
+      } else {
+        HtpFlowResult result = RunHtpFlow(hg, spec, params);
+        if (!budget.Unlimited())
+          std::printf("flow: stop_reason=%s (%zu of %zu iterations ran)\n",
+                      StopReasonName(result.stop_reason),
+                      result.iterations.size(), iterations);
+        tp = std::move(result.partition);
+      }
     } else if (algo == "rfm") {
       RfmParams rfm_params;
       rfm_params.seed = seed;

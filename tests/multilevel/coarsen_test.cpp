@@ -1,0 +1,147 @@
+// Coarsener invariants: determinism, size caps, cost-exact contraction, and
+// the coarsen -> partition -> project round trip (docs/scaling.md).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/cost.hpp"
+#include "core/htp_flow.hpp"
+#include "multilevel/coarsen.hpp"
+#include "multilevel/multilevel_flow.hpp"
+#include "netlist/generators.hpp"
+#include "netlist/subhypergraph.hpp"
+
+namespace htp {
+namespace {
+
+Hypergraph TestCircuit(std::size_t gates, std::uint64_t seed) {
+  RentCircuitParams params;
+  params.num_gates = gates;
+  params.num_primary_inputs = gates / 20;
+  params.seed = seed;
+  return RentCircuit(params);
+}
+
+TEST(CoarsenTest, LabelPropagationShrinksAndRespectsCap) {
+  const Hypergraph hg = TestCircuit(2000, 7);
+  CoarsenParams params;
+  params.scheme = CoarsenScheme::kLabelPropagation;
+  params.max_cluster_size = 12.0;
+  const CoarsenLevel level = CoarsenOnce(hg, params);
+  ASSERT_EQ(level.cluster_of.size(), hg.num_nodes());
+  EXPECT_LT(level.num_clusters, hg.num_nodes() / 2);
+  EXPECT_EQ(level.coarse.num_nodes(), level.num_clusters);
+  // Cluster sizes: recomputed from the fine graph, bounded by the cap, and
+  // equal to the coarse node sizes (contraction preserves totals).
+  std::vector<double> sizes(level.num_clusters, 0.0);
+  for (NodeId v = 0; v < hg.num_nodes(); ++v) {
+    ASSERT_LT(level.cluster_of[v], level.num_clusters);
+    sizes[level.cluster_of[v]] += hg.node_size(v);
+  }
+  for (BlockId c = 0; c < level.num_clusters; ++c) {
+    EXPECT_LE(sizes[c], params.max_cluster_size + 1e-9) << "cluster " << c;
+    EXPECT_NEAR(sizes[c], level.coarse.node_size(c), 1e-9) << "cluster " << c;
+  }
+  EXPECT_NEAR(level.coarse.total_size(), hg.total_size(), 1e-6);
+}
+
+TEST(CoarsenTest, HeavyEdgeMatchingPairsOnly) {
+  const Hypergraph hg = TestCircuit(1000, 11);
+  CoarsenParams params;
+  params.scheme = CoarsenScheme::kHeavyEdgeMatching;
+  const CoarsenLevel level = CoarsenOnce(hg, params);
+  std::vector<int> count(level.num_clusters, 0);
+  for (NodeId v = 0; v < hg.num_nodes(); ++v) ++count[level.cluster_of[v]];
+  for (BlockId c = 0; c < level.num_clusters; ++c) {
+    EXPECT_GE(count[c], 1);
+    EXPECT_LE(count[c], 2) << "matching produced a cluster of " << count[c];
+  }
+  EXPECT_LT(level.num_clusters, hg.num_nodes());  // something matched
+}
+
+TEST(CoarsenTest, CoarsenOnceIsDeterministic) {
+  const Hypergraph hg = TestCircuit(1500, 3);
+  for (const CoarsenScheme scheme :
+       {CoarsenScheme::kLabelPropagation, CoarsenScheme::kHeavyEdgeMatching}) {
+    CoarsenParams params;
+    params.scheme = scheme;
+    params.max_cluster_size = 20.0;
+    const CoarsenLevel a = CoarsenOnce(hg, params);
+    const CoarsenLevel b = CoarsenOnce(hg, params);
+    EXPECT_EQ(a.cluster_of, b.cluster_of);
+    EXPECT_EQ(a.num_clusters, b.num_clusters);
+    EXPECT_EQ(a.coarse.num_nets(), b.coarse.num_nets());
+  }
+}
+
+TEST(CoarsenTest, ContractMergesParallelNetsSummingCapacities) {
+  // Two clusters {0,1} and {2,3}; three fine nets all contract to the pair
+  // {cluster0, cluster1} and must merge into ONE coarse net with capacity
+  // 1.5 + 2.0 + 0.5; the inner net {0,1} vanishes (single-cluster span).
+  HypergraphBuilder builder;
+  for (int v = 0; v < 4; ++v) builder.add_node(1.0);
+  builder.add_net({0, 2}, 1.5);
+  builder.add_net({1, 3}, 2.0);
+  builder.add_net({0, 1, 2}, 0.5);
+  builder.add_net({0, 1}, 9.0);
+  const Hypergraph hg = builder.build();
+  const std::vector<BlockId> cluster_of = {0, 0, 1, 1};
+  const Hypergraph coarse = ContractClustersMerged(hg, cluster_of, 2);
+  ASSERT_EQ(coarse.num_nodes(), 2u);
+  ASSERT_EQ(coarse.num_nets(), 1u);
+  EXPECT_NEAR(coarse.net_capacity(0), 4.0, 1e-12);
+  EXPECT_EQ(coarse.pins(0).size(), 2u);
+}
+
+TEST(CoarsenTest, CoarsenToThresholdReachesThreshold) {
+  const Hypergraph hg = TestCircuit(4000, 5);
+  CoarsenParams params;
+  params.max_cluster_size = hg.total_size() / 64.0;
+  const auto stack = CoarsenToThreshold(hg, 400, params);
+  ASSERT_FALSE(stack.empty());
+  EXPECT_LE(stack.back().coarse.num_nodes(), 400u);
+  // Monotone shrink, finest first.
+  NodeId prev = hg.num_nodes();
+  for (const CoarsenLevel& level : stack) {
+    EXPECT_LT(level.num_clusters, prev);
+    prev = level.num_clusters;
+  }
+}
+
+// The tentpole invariant: partition the coarse graph, project through the
+// memento, and the fine-side cost equals the coarse-side cost exactly
+// (parallel-net merging is capacity-additive, Equation (1) is linear in
+// capacity). The projected partition is also valid for the same spec.
+TEST(CoarsenTest, ProjectionRoundTripIsCostExactAndValid) {
+  const Hypergraph hg = TestCircuit(2000, 13);
+  const HierarchySpec spec = FullBinaryHierarchy(hg.total_size(), 3, 0.5);
+  CoarsenParams params;
+  params.max_cluster_size = FeasibleClusterCap(hg, spec);
+  const auto stack = CoarsenToThreshold(hg, 300, params);
+  ASSERT_FALSE(stack.empty());
+
+  const Hypergraph& coarse = stack.back().coarse;
+  HtpFlowParams flow;
+  flow.iterations = 1;
+  flow.seed = 17;
+  const HtpFlowResult coarse_result = RunHtpFlow(coarse, spec, flow);
+  EXPECT_NEAR(coarse_result.cost, PartitionCost(coarse_result.partition, spec),
+              1e-9);
+
+  // Project down the whole stack, checking exactness at every level.
+  const TreePartition* tp = &coarse_result.partition;
+  std::vector<TreePartition> kept;
+  kept.reserve(stack.size());
+  for (std::size_t i = stack.size(); i-- > 0;) {
+    const Hypergraph& fine = (i == 0) ? hg : stack[i - 1].coarse;
+    kept.push_back(ProjectPartition(*tp, fine, stack[i].cluster_of));
+    EXPECT_NEAR(PartitionCost(kept.back(), spec), coarse_result.cost, 1e-6)
+        << "level " << i;
+    tp = &kept.back();
+  }
+  RequireValidPartition(*tp, spec);
+  EXPECT_EQ(&tp->hypergraph(), &hg);
+}
+
+}  // namespace
+}  // namespace htp

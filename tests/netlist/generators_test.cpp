@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
+#include "graph/csr_view.hpp"
 #include "netlist/subhypergraph.hpp"
 
 namespace htp {
@@ -120,6 +123,29 @@ TEST(ArrayMultiplier, InputsHaveHighFanout) {
   for (NetId e = 0; e < hg.num_nets(); ++e)
     max_deg = std::max(max_deg, hg.net_degree(e));
   EXPECT_GE(max_deg, 8u);
+}
+
+// The multilevel driver feeds 100k-node generated circuits into the CSR hot
+// path, so the generator must stay sound past 64k nodes (no 16-bit indices
+// anywhere) and the CsrView 32-bit pin-offset budget must still hold for
+// Rent-style netlists of that size (see the scale-limit note in
+// graph/csr_view.hpp).
+TEST(RentCircuit, Beyond64kNodesBuildsAndFitsCsrOffsets) {
+  RentCircuitParams params;
+  params.num_gates = 70000;
+  params.num_primary_inputs = 2800;
+  params.seed = 7;
+  Hypergraph hg = RentCircuit(params);
+  ASSERT_EQ(hg.num_nodes(), 70000u);
+  EXPECT_GT(hg.num_nodes(), 65536u);  // past any 16-bit rollover point
+  EXPECT_EQ(ConnectedComponents(hg).count, 1u);
+  // Pin ids above 64k must survive the round trip through the net lists.
+  NodeId max_pin = 0;
+  for (NetId e = 0; e < hg.num_nets(); ++e)
+    for (NodeId v : hg.pins(e)) max_pin = std::max(max_pin, v);
+  EXPECT_GT(max_pin, 65536u);
+  const CsrView view(hg);  // would throw if 32-bit pin offsets overflowed
+  EXPECT_EQ(view.num_nodes(), hg.num_nodes());
 }
 
 TEST(Iscas85Suite, AllCircuitsBuild) {
