@@ -30,12 +30,17 @@
 //                      section as JSONL rows (obs/sinks.hpp), one line per
 //                      counter/timer, tagged with bench name and scope —
 //                      the machine-readable per-phase breakdown
+//   --report-dir <dir> write one RunReport JSON (obs/report.hpp) per
+//                      measured section into <dir>, named
+//                      <bench>.<scope>.report.json — the schema-versioned
+//                      artifact scripts/obs_report.py validates and diffs
 #pragma once
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <string>
 #include <vector>
@@ -45,6 +50,7 @@
 #include "netlist/bench_parser.hpp"
 #include "netlist/generators.hpp"
 #include "obs/obs.hpp"
+#include "obs/report.hpp"
 #include "obs/sinks.hpp"
 #include "runtime/budget.hpp"
 
@@ -64,6 +70,7 @@ struct Options {
   double oracle_sample = 0.0;
   std::string bench_dir;
   std::string obs_jsonl;  ///< JSONL telemetry stream path ("" = off)
+  std::string report_dir;  ///< RunReport output directory ("" = off)
 
   /// True when --time-budget was given: results depend on wall clock, so
   /// the benches must not treat parallel/serial cost divergence as a bug.
@@ -102,12 +109,14 @@ inline Options ParseArgs(int argc, char** argv) {
       options.bench_dir = argv[++i];
     } else if (std::strcmp(argv[i], "--obs-jsonl") == 0 && i + 1 < argc) {
       options.obs_jsonl = argv[++i];
+    } else if (std::strcmp(argv[i], "--report-dir") == 0 && i + 1 < argc) {
+      options.report_dir = argv[++i];
     } else {
       std::fprintf(stderr,
                    "unknown argument '%s' (supported: --quick, --seed N, "
                    "--trials N, --threads N, --metric-threads N, "
                    "--time-budget S, --max-rounds N, --oracle-sample F, "
-                   "--bench-dir DIR, --obs-jsonl FILE)\n",
+                   "--bench-dir DIR, --obs-jsonl FILE, --report-dir DIR)\n",
                    argv[i]);
       std::exit(2);
     }
@@ -198,6 +207,24 @@ class ObsSection {
     if (!options_.obs_jsonl.empty()) {
       std::ofstream out(options_.obs_jsonl, std::ios::app);
       if (out) obs::WriteJsonlSnapshot(out, snap, bench_, scope_);
+    }
+    if (!options_.report_dir.empty()) {
+      obs::RunReportBuilder rb(bench_);
+      rb.MetaString("scope", scope_);
+      rb.MetaNumber("seed", static_cast<double>(options_.seed));
+      rb.WallNumber("threads", static_cast<double>(options_.threads));
+      rb.WallNumber("metric_threads",
+                    static_cast<double>(options_.metric_threads));
+      std::error_code ec;  // best-effort: a failed mkdir surfaces below
+      std::filesystem::create_directories(options_.report_dir, ec);
+      const std::string path = options_.report_dir + "/" + bench_ + "." +
+                               scope_ + ".report.json";
+      std::ofstream out(path);
+      if (out)
+        out << rb.Render(snap, obs::DrainEvents()) << '\n';
+      else
+        std::fprintf(stderr, "warning: cannot write RunReport to %s\n",
+                     path.c_str());
     }
     if (print_phases_) PrintPhaseBreakdown(snap);
   }

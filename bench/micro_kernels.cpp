@@ -231,6 +231,41 @@ void BM_ObsPhaseScopeUntraced(benchmark::State& state) {
 }
 BENCHMARK(BM_ObsPhaseScopeUntraced);
 
+// One histogram record: a bit_width plus three shard-cell updates. Same
+// ~ns budget as Counter::Add — it shares the no-lock shard design.
+void BM_ObsHistogramRecord(benchmark::State& state) {
+  static obs::Histogram histogram("bench.obs_histogram_record");
+  std::uint64_t i = 0;
+  for (auto _ : state) histogram.Record(i++ & 0xffff);
+}
+BENCHMARK(BM_ObsHistogramRecord);
+
+// One journal record with a typical payload width (6 fields, like
+// flow.round). Events fire at decision granularity (per round/iteration/
+// level), so tens of ns here is far below noise for any real run; the
+// bench exists to catch accidental allocation on the record path.
+void BM_ObsEventRecord(benchmark::State& state) {
+  static obs::Event event("bench.obs_event_record");
+  double i = 0.0;
+  for (auto _ : state) {
+    event.Record({{"a", i},
+                  {"b", i + 1},
+                  {"c", i + 2},
+                  {"d", i + 3},
+                  {"e", i + 4},
+                  {"f", i + 5}});
+    i += 1.0;
+    // Journals grow; cap memory by draining periodically outside timing.
+    if (static_cast<std::uint64_t>(i) % (1u << 18) == 0) {
+      state.PauseTiming();
+      obs::DrainEvents();
+      state.ResumeTiming();
+    }
+  }
+  obs::DrainEvents();
+}
+BENCHMARK(BM_ObsEventRecord);
+
 }  // namespace
 
 BENCHMARK_MAIN();

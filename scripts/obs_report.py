@@ -1,0 +1,311 @@
+#!/usr/bin/env python3
+"""Validate, render, and diff htp RunReport artifacts.
+
+A RunReport is the JSON document ``htp_cli --report FILE`` writes (schema
+``htp-run-report``, assembled by ``src/obs/report.cpp``). It has two
+top-level sections with opposite contracts (docs/observability.md):
+
+* ``deterministic`` — meta, result, counter totals, value-histogram
+  distributions, and the decision journal. For unbudgeted runs this whole
+  section is bit-identical for every threads x metric-threads combination.
+* ``wall`` — thread counts, timers, time-histograms, and wall-derived
+  counters. Two otherwise-identical runs may differ arbitrarily here.
+
+Subcommands:
+
+``validate FILE...``
+    Structural check: parses the JSON, verifies the schema tag, rejects
+    unknown ``schema_version`` values, and checks every section has the
+    expected shape (counters are ints, histograms carry count/sum/min/max
+    and sparse [bucket, count] pairs, journal records name their event).
+    Exit 0 when every file passes, 1 otherwise.
+
+``render FILE``
+    Human-readable summary to stdout: run meta, result, the top counters,
+    and a per-event-type digest of the journal (record counts plus first/
+    last records), so a report is skimmable without jq.
+
+``diff A B [--wall-tolerance FRAC]``
+    Compares the two reports' ``deterministic`` sections for EXACT
+    equality (this is the cross-thread-count determinism gate CI runs) and
+    the ``wall`` sections loosely: wall meta may differ freely (that is
+    where thread counts live), timer totals are compared only when
+    ``--wall-tolerance`` is given (default: not compared — wall clocks are
+    machine noise). Exit 0 when the deterministic sections match, 1
+    otherwise, with a field-level description of the first differences.
+
+Stdlib only, like every script in this repository.
+"""
+
+import argparse
+import json
+import sys
+
+KNOWN_SCHEMA = "htp-run-report"
+KNOWN_VERSIONS = {1}
+
+
+def fail(msg):
+    print(f"error: {msg}", file=sys.stderr)
+    return 1
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+# ---------------------------------------------------------------- validate
+
+
+def check(cond, errors, msg):
+    if not cond:
+        errors.append(msg)
+
+
+def validate_histograms(histograms, where, errors):
+    check(isinstance(histograms, dict), errors, f"{where} must be an object")
+    if not isinstance(histograms, dict):
+        return
+    for name, h in histograms.items():
+        w = f"{where}[{name!r}]"
+        check(isinstance(h, dict), errors, f"{w} must be an object")
+        if not isinstance(h, dict):
+            continue
+        for key in ("count", "sum", "min", "max"):
+            check(isinstance(h.get(key), int), errors,
+                  f"{w}.{key} must be an integer")
+        buckets = h.get("buckets")
+        check(isinstance(buckets, list), errors, f"{w}.buckets must be a list")
+        for pair in buckets if isinstance(buckets, list) else []:
+            check(
+                isinstance(pair, list) and len(pair) == 2
+                and all(isinstance(x, int) for x in pair), errors,
+                f"{w}.buckets entries must be [bucket_index, count] int pairs")
+
+
+def validate_report(doc, errors):
+    check(isinstance(doc, dict), errors, "document must be a JSON object")
+    if not isinstance(doc, dict):
+        return
+    check(doc.get("schema") == KNOWN_SCHEMA, errors,
+          f"schema must be {KNOWN_SCHEMA!r}, got {doc.get('schema')!r}")
+    version = doc.get("schema_version")
+    check(version in KNOWN_VERSIONS, errors,
+          f"unknown schema_version {version!r} (known: {sorted(KNOWN_VERSIONS)})")
+    check(isinstance(doc.get("tool"), str), errors, "tool must be a string")
+
+    det = doc.get("deterministic")
+    check(isinstance(det, dict), errors, "deterministic must be an object")
+    if isinstance(det, dict):
+        for key in ("meta", "result", "counters", "histograms"):
+            check(isinstance(det.get(key), dict), errors,
+                  f"deterministic.{key} must be an object")
+        counters = det.get("counters")
+        if isinstance(counters, dict):
+            for name, value in counters.items():
+                check(isinstance(value, int), errors,
+                      f"deterministic.counters[{name!r}] must be an integer")
+        validate_histograms(det.get("histograms", {}),
+                            "deterministic.histograms", errors)
+        journal = det.get("journal")
+        check(isinstance(journal, list), errors,
+              "deterministic.journal must be a list")
+        for i, record in enumerate(journal if isinstance(journal, list) else []):
+            check(
+                isinstance(record, dict)
+                and isinstance(record.get("event"), str), errors,
+                f"deterministic.journal[{i}] must be an object with an"
+                " 'event' string")
+
+    wall = doc.get("wall")
+    check(isinstance(wall, dict), errors, "wall must be an object")
+    if isinstance(wall, dict):
+        for key in ("meta", "counters", "timers", "histograms"):
+            check(isinstance(wall.get(key), dict), errors,
+                  f"wall.{key} must be an object")
+        timers = wall.get("timers")
+        if isinstance(timers, dict):
+            for name, t in timers.items():
+                check(
+                    isinstance(t, dict) and all(
+                        isinstance(t.get(k), int)
+                        for k in ("count", "total_ns", "min_ns", "max_ns")),
+                    errors, f"wall.timers[{name!r}] must carry integer"
+                    " count/total_ns/min_ns/max_ns")
+        validate_histograms(wall.get("histograms", {}), "wall.histograms",
+                            errors)
+
+
+def cmd_validate(args):
+    status = 0
+    for path in args.files:
+        errors = []
+        try:
+            doc = load(path)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"{path}: FAIL ({exc})")
+            status = 1
+            continue
+        validate_report(doc, errors)
+        if errors:
+            print(f"{path}: FAIL")
+            for err in errors:
+                print(f"  {err}")
+            status = 1
+        else:
+            print(f"{path}: OK (schema_version {doc['schema_version']},"
+                  f" tool {doc['tool']},"
+                  f" {len(doc['deterministic']['journal'])} journal records)")
+    return status
+
+
+# ------------------------------------------------------------------ render
+
+
+def render_section(title, entries):
+    print(f"{title}:")
+    if not entries:
+        print("  (empty)")
+        return
+    width = max(len(str(k)) for k in entries)
+    for key, value in entries.items():
+        print(f"  {key:<{width}}  {value}")
+
+
+def cmd_render(args):
+    doc = load(args.file)
+    errors = []
+    validate_report(doc, errors)
+    if errors:
+        return fail(f"{args.file} is not a valid report: {errors[0]}")
+    det, wall = doc["deterministic"], doc["wall"]
+    print(f"RunReport (tool {doc['tool']},"
+          f" schema_version {doc['schema_version']})")
+    render_section("meta", det["meta"])
+    render_section("result", det["result"])
+    render_section("wall meta", wall["meta"])
+
+    counters = det["counters"]
+    top = sorted(counters.items(), key=lambda kv: (-kv[1], kv[0]))
+    render_section("counters (largest first)", dict(top[:args.top]))
+    if len(top) > args.top:
+        print(f"  ... {len(top) - args.top} more")
+
+    if det["histograms"]:
+        print("value histograms:")
+        for name, h in det["histograms"].items():
+            mean = h["sum"] / h["count"] if h["count"] else 0.0
+            print(f"  {name}: count {h['count']}, sum {h['sum']},"
+                  f" min {h['min']}, max {h['max']}, mean {mean:.1f}")
+
+    journal = det["journal"]
+    print(f"journal: {len(journal)} records")
+    by_event = {}
+    for record in journal:
+        by_event.setdefault(record["event"], []).append(record)
+    for event, records in sorted(by_event.items()):
+        print(f"  {event}: {len(records)} records")
+        for record in ([records[0]] if len(records) == 1
+                       else [records[0], records[-1]]):
+            fields = {k: v for k, v in record.items() if k != "event"}
+            print(f"    {fields}")
+    return 0
+
+
+# -------------------------------------------------------------------- diff
+
+
+def flatten(value, prefix=""):
+    """(path, scalar) pairs for every leaf, lists indexed by position."""
+    if isinstance(value, dict):
+        for key, sub in value.items():
+            yield from flatten(sub, f"{prefix}.{key}" if prefix else str(key))
+    elif isinstance(value, list):
+        for i, sub in enumerate(value):
+            yield from flatten(sub, f"{prefix}[{i}]")
+    else:
+        yield prefix, value
+
+
+def diff_exact(a, b, limit=10):
+    fa, fb = dict(flatten(a)), dict(flatten(b))
+    diffs = []
+    for path in sorted(set(fa) | set(fb)):
+        if path not in fa:
+            diffs.append(f"  only in B: {path} = {fb[path]!r}")
+        elif path not in fb:
+            diffs.append(f"  only in A: {path} = {fa[path]!r}")
+        elif fa[path] != fb[path]:
+            diffs.append(f"  {path}: A {fa[path]!r} != B {fb[path]!r}")
+    shown = diffs[:limit]
+    if len(diffs) > limit:
+        shown.append(f"  ... {len(diffs) - limit} more differing fields")
+    return diffs, shown
+
+
+def cmd_diff(args):
+    a, b = load(args.a), load(args.b)
+    for path, doc in ((args.a, a), (args.b, b)):
+        errors = []
+        validate_report(doc, errors)
+        if errors:
+            return fail(f"{path} is not a valid report: {errors[0]}")
+
+    status = 0
+    diffs, shown = diff_exact(a["deterministic"], b["deterministic"])
+    if diffs:
+        print(f"deterministic sections DIFFER ({len(diffs)} fields):")
+        print("\n".join(shown))
+        status = 1
+    else:
+        print("deterministic sections match exactly")
+
+    if args.wall_tolerance is not None:
+        # Wall meta (thread counts) and per-run noise are expected to vary;
+        # only total timer time is compared, within the tolerance.
+        ta = a["wall"]["timers"]
+        tb = b["wall"]["timers"]
+        for name in sorted(set(ta) | set(tb)):
+            if name not in ta or name not in tb:
+                print(f"wall timer {name}: present in only one report"
+                      " (informational)")
+                continue
+            ref = max(ta[name]["total_ns"], tb[name]["total_ns"], 1)
+            rel = abs(ta[name]["total_ns"] - tb[name]["total_ns"]) / ref
+            if rel > args.wall_tolerance:
+                print(f"wall timer {name}: total_ns differ by"
+                      f" {rel:.1%} (> {args.wall_tolerance:.1%})"
+                      " (informational)")
+    return status
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_validate = sub.add_parser("validate", help="structurally check reports")
+    p_validate.add_argument("files", nargs="+")
+    p_validate.set_defaults(func=cmd_validate)
+
+    p_render = sub.add_parser("render", help="human-readable summary")
+    p_render.add_argument("file")
+    p_render.add_argument("--top", type=int, default=12,
+                          help="counters to show (default 12)")
+    p_render.set_defaults(func=cmd_render)
+
+    p_diff = sub.add_parser(
+        "diff", help="exact deterministic-section comparison")
+    p_diff.add_argument("a")
+    p_diff.add_argument("b")
+    p_diff.add_argument("--wall-tolerance", type=float, default=None,
+                        help="also report wall timer totals differing by"
+                        " more than this fraction (informational)")
+    p_diff.set_defaults(func=cmd_diff)
+
+    args = parser.parse_args()
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

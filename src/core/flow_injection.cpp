@@ -25,6 +25,16 @@ obs::Counter c_rounds_truncated("flow.rounds_truncated");
 // (0,1)); zero on exact runs, so exact totals are untouched by the knob.
 obs::Counter c_oracle_skipped("flow.oracle_skipped_sources");
 obs::Timer t_compute_metric("flow.compute_metric");
+// Distributions across metric computations (one Record per call). kValue:
+// deterministic, so they land in the RunReport's deterministic section.
+obs::Histogram h_rounds_per_metric("flow.rounds_per_metric");
+obs::Histogram h_injections_per_metric("flow.injections_per_metric");
+obs::Histogram h_compute_metric_ns("flow.compute_metric_ns",
+                                   obs::HistogramKind::kTimeNs);
+// Per-round journal record; `metric_seed` leads the payload so records from
+// nested subproblems (multilevel levels, driver iterations — each with its
+// own pre-forked seed) sort into distinct runs, `round` orders within one.
+obs::Event e_round("flow.round");
 
 // Applies FlowInjectionParams::oracle_sample to a freshly initialized
 // worklist: keeps a deterministic random subset of ceil(fraction * n)
@@ -57,14 +67,23 @@ FlowInjectionResult ComputeSpreadingMetric(const Hypergraph& hg,
   HTP_CHECK(params.delta > 0.0);
   Rng rng(params.seed);
   obs::PhaseScope obs_span(t_compute_metric);
+  obs::ScopedHistogramTimer obs_hist_span(h_compute_metric_ns);
   std::uint64_t flooded_nets = 0, violated_tree_nodes = 0;
 
   FlowInjectionResult result;
   result.flow.assign(hg.num_nets(), params.epsilon);
   result.metric.assign(hg.num_nets(), 0.0);
+  // Running sum_e c(e) d(e), maintained incrementally: O(tree_nets) per
+  // injection instead of an O(nets) sweep per round just to journal it.
+  // Commits are serialized in deterministic order for every `threads`
+  // value, so the float accumulation order — and the journaled mass — is
+  // bit-identical too.
+  double metric_mass = 0.0;
   auto update_length = [&](NetId e) {
-    result.metric[e] =
-        std::exp(params.alpha * result.flow[e] / hg.net_capacity(e)) - 1.0;
+    const double cap = hg.net_capacity(e);
+    metric_mass -= cap * result.metric[e];
+    result.metric[e] = std::exp(params.alpha * result.flow[e] / cap) - 1.0;
+    metric_mass += cap * result.metric[e];
   };
   for (NetId e = 0; e < hg.num_nets(); ++e) update_length(e);
 
@@ -95,6 +114,8 @@ FlowInjectionResult ComputeSpreadingMetric(const Hypergraph& hg,
     ++result.rounds;
     rng.shuffle(worklist);
     still_violated.clear();
+    const std::size_t round_start_injections = result.injections;
+    std::uint64_t round_flooded = 0, round_tree_nodes = 0;
     std::size_t cursor = 0;
     while (cursor < worklist.size()) {
       auto hit = scanner.FindFirstViolation(worklist, cursor, result.metric,
@@ -108,6 +129,8 @@ FlowInjectionResult ComputeSpreadingMetric(const Hypergraph& hg,
       ++result.injections;
       flooded_nets += hit->tree_nets.size();
       violated_tree_nodes += hit->tree_nodes;
+      round_flooded += hit->tree_nets.size();
+      round_tree_nodes += hit->tree_nodes;
       // A tree with no nets (k == 1 with a single oversized node) can never
       // be repaired by injection; drop the node to guarantee progress.
       if (!hit->tree_nets.empty()) still_violated.push_back(hit->source);
@@ -119,6 +142,17 @@ FlowInjectionResult ComputeSpreadingMetric(const Hypergraph& hg,
         break;
       }
     }
+    // One journal record per committed round, cancelled or not: the
+    // trajectory of the convergence (how much mass each round added, how
+    // fast the violating set shrank) is what the RunReport visualizes.
+    e_round.Record(
+        {{"metric_seed", static_cast<double>(params.seed)},
+         {"round", static_cast<double>(result.rounds)},
+         {"injections",
+          static_cast<double>(result.injections - round_start_injections)},
+         {"flooded_nets", static_cast<double>(round_flooded)},
+         {"tree_nodes", static_cast<double>(round_tree_nodes)},
+         {"metric_mass", metric_mass}});
     if (result.cancelled) break;
     std::swap(worklist, still_violated);
   }
@@ -132,6 +166,8 @@ FlowInjectionResult ComputeSpreadingMetric(const Hypergraph& hg,
   c_flooded_nets.Add(flooded_nets);
   c_violated_tree_nodes.Add(violated_tree_nodes);
   if (result.converged) c_converged.Add();
+  h_rounds_per_metric.Record(result.rounds);
+  h_injections_per_metric.Record(result.injections);
   return result;
 }
 
@@ -143,6 +179,7 @@ FlowInjectionResult ComputePairPathSpreadingMetric(
   HTP_CHECK(params.delta > 0.0);
   Rng rng(params.seed);
   obs::PhaseScope obs_span(t_compute_metric);
+  obs::ScopedHistogramTimer obs_hist_span(h_compute_metric_ns);
   std::uint64_t flooded_nets = 0;
 
   FlowInjectionResult result;
@@ -202,6 +239,8 @@ FlowInjectionResult ComputePairPathSpreadingMetric(
   c_injections.Add(result.injections);
   c_flooded_nets.Add(flooded_nets);
   if (result.converged) c_converged.Add();
+  h_rounds_per_metric.Record(result.rounds);
+  h_injections_per_metric.Record(result.injections);
   return result;
 }
 

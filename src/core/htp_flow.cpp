@@ -5,6 +5,7 @@
 
 #include "core/mst_carver.hpp"
 #include "obs/obs.hpp"
+#include "obs/report.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace htp {
@@ -26,6 +27,9 @@ obs::Counter c_budget_remaining_ms("driver.budget_remaining_ms",
 obs::Timer t_run("driver.run");
 obs::Timer t_iteration("driver.iteration");
 obs::Timer t_construct("driver.construct");
+// One journal record per executed Algorithm-1 iteration; `iter` leads the
+// payload so the drained journal lists iterations in index order.
+obs::Event e_iteration("driver.iteration");
 
 // Wraps a carve in best-of-`attempts` restarts (in-window results strictly
 // dominate out-of-window ones). A fired token stops the restarts after the
@@ -222,6 +226,18 @@ HtpFlowResult RunHtpFlow(const Hypergraph& hg, const HierarchySpec& spec,
     obs::PhaseScope iteration_span(t_iteration, "iter", iter);
     outcomes[iter] =
         RunIteration(hg, spec, params, streams[iter], cancel, iter == 0);
+    const IterationOutcome& out = outcomes[iter];
+    // Journaled from whichever worker ran the iteration; the record's
+    // payload is a function of the pre-forked stream alone, so the drained
+    // (name, fields)-ordered journal is thread-count-invariant.
+    e_iteration.Record(
+        {{"iter", static_cast<double>(iter)},
+         {"seed", static_cast<double>(streams[iter].injection_seed)},
+         {"injections", static_cast<double>(out.stats.injections)},
+         {"metric_cost", out.stats.metric_cost},
+         {"constructive_cost", out.stats.best_partition_cost},
+         {"converged", out.stats.metric_converged ? 1.0 : 0.0},
+         {"truncated", out.truncated ? 1.0 : 0.0}});
   });
 
   // Deterministic reduction: the serial loop kept the first strictly
@@ -249,6 +265,9 @@ HtpFlowResult RunHtpFlow(const Hypergraph& hg, const HierarchySpec& spec,
 
   HtpFlowResult result{std::move(*outcomes[winner].best_partition),
                        outcomes[winner].best_cost,
+                       {},
+                       true,
+                       StopReason::kCompleted,
                        {}};
   result.iterations.reserve(planned - skipped);
   for (IterationOutcome& out : outcomes)
@@ -273,6 +292,36 @@ HtpFlowResult RunHtpFlow(const Hypergraph& hg, const HierarchySpec& spec,
   if (remaining < Budget::kNoTimeLimit) {
     c_budget_remaining_ms.Add(
         static_cast<std::uint64_t>(remaining * 1000.0));
+  }
+  if (params.collect_report) {
+    obs::RunReportBuilder rb("htp_flow");
+    rb.MetaString("algorithm", "flow");
+    rb.MetaNumber("nodes", static_cast<double>(hg.num_nodes()));
+    rb.MetaNumber("nets", static_cast<double>(hg.num_nets()));
+    rb.MetaNumber("levels", static_cast<double>(spec.num_levels()));
+    rb.MetaNumber("seed", static_cast<double>(params.seed));
+    rb.MetaNumber("iterations_requested",
+                  static_cast<double>(params.iterations));
+    rb.MetaNumber("constructions_per_metric",
+                  static_cast<double>(params.constructions_per_metric));
+    rb.MetaNumber("carve_attempts",
+                  static_cast<double>(params.carve_attempts));
+    rb.MetaString("metric_scope",
+                  params.metric_scope == MetricScope::kPerSubproblem
+                      ? "per_subproblem"
+                      : "global_once");
+    rb.MetaString("carver", params.carver == CarverKind::kMstSplit
+                                ? "mst_split"
+                                : "prim_prefix");
+    rb.ResultNumber("cost", result.cost);
+    rb.ResultBool("completed", result.completed);
+    rb.ResultString("stop_reason", StopReasonName(result.stop_reason));
+    rb.ResultNumber("iterations_run",
+                    static_cast<double>(result.iterations.size()));
+    rb.WallNumber("threads", static_cast<double>(params.threads));
+    rb.WallNumber("metric_threads",
+                  static_cast<double>(params.metric_threads));
+    result.report = rb.Render(obs::TakeSnapshot(), obs::DrainEvents());
   }
   return result;
 }

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <optional>
+#include <string>
 
 #include "core/build_partition.hpp"
 #include "core/flow_injection.hpp"
@@ -89,6 +90,14 @@ struct HtpFlowParams {
   /// Manual() token). Linked as the parent of the budget deadline, so
   /// either source stops the run. Inert by default.
   CancellationToken cancel;
+  /// When true, RunHtpFlow assembles a RunReport (obs/report.hpp) into
+  /// `HtpFlowResult::report` from the telemetry of this run. Side effect:
+  /// assembly *drains* the obs journal (DrainEvents) — so leave this false
+  /// when a larger pipeline (e.g. the multilevel driver) owns the report
+  /// and wants the inner runs' events to accumulate into its own journal.
+  /// Counter/timer totals are snapshotted, not reset. With obs compiled
+  /// out the report still renders; its telemetry sections are just empty.
+  bool collect_report = false;
 };
 
 /// Statistics of one Algorithm-1 iteration.
@@ -118,6 +127,11 @@ struct HtpFlowResult {
   /// Why the run stopped (kCompleted, kIterationCap, kDeadline,
   /// kCancelled). A fired token outranks the deterministic iteration cap.
   StopReason stop_reason = StopReason::kCompleted;
+  /// The RunReport JSON document (schema "htp-run-report"), populated iff
+  /// `params.collect_report` was set. Its `deterministic` section is
+  /// bit-identical across `threads` × `metric_threads` on unbudgeted runs
+  /// (tests/obs/report_test.cpp).
+  std::string report;
 };
 
 /// Runs Algorithm 1 (FLOW) on `hg` with respect to `spec`.

@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "obs/obs.hpp"
+#include "obs/report.hpp"
 
 namespace htp {
 namespace {
@@ -21,6 +22,13 @@ obs::Counter c_refine_gain_milli("uncoarsen.refine_gain_milli");
 obs::Timer t_run("multilevel.run");
 obs::Timer t_level("multilevel.level");
 obs::Timer t_project("uncoarsen.project");
+// One journal record per uncoarsening level; `level` leads the payload so
+// the drained journal walks the uncoarsening coarsest-first (highest level
+// index first in execution, but sorted ascending in the journal).
+obs::Event e_level("multilevel.level");
+// Refinement gain per projection, in milli-cost units (Equation (1) costs
+// are capacity sums, integral on integer-capacity inputs).
+obs::Histogram h_refine_gain_milli("uncoarsen.refine_gain_milli_per_level");
 
 double MaxNodeSize(const Hypergraph& hg) {
   double m = 0.0;
@@ -89,6 +97,9 @@ MultilevelResult RunMultilevelFlow(const Hypergraph& hg,
   const CancellationToken token = StartBudget(flow.budget, flow.cancel);
   flow.cancel = token;
   flow.budget.time_budget_seconds = Budget::kNoTimeLimit;
+  // The pipeline owns the RunReport: the inner flow must not drain the
+  // journal, or the coarse run's records would vanish from this report.
+  flow.collect_report = false;
 
   CoarsenParams coarsen = params.coarsen;
   if (coarsen.max_cluster_size <= 0.0)
@@ -136,8 +147,16 @@ MultilevelResult RunMultilevelFlow(const Hypergraph& hg,
     const Hypergraph& fine = (i == 0) ? hg : stack[i - 1].coarse;
     TreePartition projected = ProjectPartition(tp, fine, stack[i].cluster_of);
     const HtpFmStats stats = RefineHtpFm(projected, spec, refine);
-    c_refine_gain_milli.Add(static_cast<std::uint64_t>(
-        std::llround((stats.initial_cost - stats.final_cost) * 1000.0)));
+    const std::uint64_t gain_milli = static_cast<std::uint64_t>(
+        std::llround((stats.initial_cost - stats.final_cost) * 1000.0));
+    c_refine_gain_milli.Add(gain_milli);
+    h_refine_gain_milli.Record(gain_milli);
+    e_level.Record({{"level", static_cast<double>(i)},
+                    {"nodes", static_cast<double>(fine.num_nodes())},
+                    {"projected_cost", stats.initial_cost},
+                    {"refined_cost", stats.final_cost},
+                    {"fm_passes", static_cast<double>(stats.passes)},
+                    {"gain", stats.initial_cost - stats.final_cost}});
     level_stats.push_back({fine.num_nodes(), stats.initial_cost,
                            stats.final_cost, stats.passes});
     if (!stats.completed) completed = false;
@@ -156,6 +175,31 @@ MultilevelResult RunMultilevelFlow(const Hypergraph& hg,
   result.level_stats = std::move(level_stats);
   result.completed = completed;
   result.stop_reason = stop_reason;
+  if (params.collect_report) {
+    obs::RunReportBuilder rb("multilevel_flow");
+    rb.MetaString("algorithm", "multilevel_flow");
+    rb.MetaNumber("nodes", static_cast<double>(hg.num_nodes()));
+    rb.MetaNumber("nets", static_cast<double>(hg.num_nets()));
+    rb.MetaNumber("levels", static_cast<double>(spec.num_levels()));
+    rb.MetaNumber("seed", static_cast<double>(params.flow.seed));
+    rb.MetaNumber("coarsen_threshold",
+                  static_cast<double>(params.coarsen_threshold));
+    rb.MetaNumber("max_levels", static_cast<double>(params.max_levels));
+    rb.ResultNumber("cost", result.cost);
+    rb.ResultNumber("coarse_cost", result.coarse_cost);
+    rb.ResultNumber("coarsen_levels",
+                    static_cast<double>(result.coarsen_levels));
+    rb.ResultNumber("coarsest_nodes",
+                    static_cast<double>(result.coarsest_nodes));
+    rb.ResultNumber("feasibility_fallbacks",
+                    static_cast<double>(result.feasibility_fallbacks));
+    rb.ResultBool("completed", result.completed);
+    rb.ResultString("stop_reason", StopReasonName(result.stop_reason));
+    rb.WallNumber("threads", static_cast<double>(params.flow.threads));
+    rb.WallNumber("metric_threads",
+                  static_cast<double>(params.flow.metric_threads));
+    result.report = rb.Render(obs::TakeSnapshot(), obs::DrainEvents());
+  }
   return result;
 }
 

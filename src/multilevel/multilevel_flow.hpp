@@ -54,6 +54,13 @@ struct MultilevelParams {
     p.boundary_only = true;
     return p;
   }
+
+  /// When true, RunMultilevelFlow assembles a RunReport into
+  /// `MultilevelResult::report` covering the whole pipeline (coarse flow
+  /// journal + per-level records). The inner RunHtpFlow always runs with
+  /// `collect_report` off so its events accumulate into this pipeline-wide
+  /// journal; assembly drains it (see HtpFlowParams::collect_report).
+  bool collect_report = false;
 };
 
 /// What happened at one uncoarsening level (coarsest first).
@@ -79,6 +86,10 @@ struct MultilevelResult {
   std::vector<MultilevelLevelStats> level_stats;  ///< coarsest-first
   bool completed = true;
   StopReason stop_reason = StopReason::kCompleted;
+  /// RunReport JSON (schema "htp-run-report"), populated iff
+  /// `params.collect_report` was set; same determinism contract as
+  /// HtpFlowResult::report.
+  std::string report;
 };
 
 /// Largest cluster size for which a coarse graph with that node granularity

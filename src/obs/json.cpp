@@ -1,0 +1,131 @@
+#include "obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace htp::obs {
+
+std::string EscapeJson(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::Separate() {
+  if (pending_key_) {
+    // The comma (if any) was written with the key.
+    pending_key_ = false;
+    return;
+  }
+  if (need_comma_.back()) out_ += ',';
+  need_comma_.back() = true;
+}
+
+void JsonWriter::BeginObject() {
+  Separate();
+  out_ += '{';
+  need_comma_.push_back(false);
+}
+
+void JsonWriter::EndObject() {
+  need_comma_.pop_back();
+  out_ += '}';
+}
+
+void JsonWriter::BeginArray() {
+  Separate();
+  out_ += '[';
+  need_comma_.push_back(false);
+}
+
+void JsonWriter::EndArray() {
+  need_comma_.pop_back();
+  out_ += ']';
+}
+
+void JsonWriter::Key(std::string_view key) {
+  if (need_comma_.back()) out_ += ',';
+  need_comma_.back() = true;
+  out_ += '"';
+  out_ += EscapeJson(key);
+  out_ += "\":";
+  pending_key_ = true;
+}
+
+void JsonWriter::String(std::string_view value) {
+  Separate();
+  out_ += '"';
+  out_ += EscapeJson(value);
+  out_ += '"';
+}
+
+void JsonWriter::Number(double value) {
+  Separate();
+  if (!std::isfinite(value)) {  // NaN/inf are not JSON
+    out_ += "null";
+    return;
+  }
+  // Exactly representable integers print without an exponent or fraction so
+  // indices and counters stay grep-able; everything else round-trips via
+  // %.17g (shortest form a double is guaranteed to survive).
+  constexpr double kExact = 9007199254740992.0;  // 2^53
+  if (value == std::floor(value) && value > -kExact && value < kExact) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(value));
+    out_ += buf;
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  out_ += buf;
+}
+
+void JsonWriter::Number(std::uint64_t value) {
+  Separate();
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%llu",
+                static_cast<unsigned long long>(value));
+  out_ += buf;
+}
+
+void JsonWriter::Number(std::int64_t value) {
+  Separate();
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(value));
+  out_ += buf;
+}
+
+void JsonWriter::Bool(bool value) {
+  Separate();
+  out_ += value ? "true" : "false";
+}
+
+void JsonWriter::Null() {
+  Separate();
+  out_ += "null";
+}
+
+void JsonWriter::Raw(std::string_view json) {
+  Separate();
+  out_ += json;
+}
+
+}  // namespace htp::obs

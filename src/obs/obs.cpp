@@ -3,7 +3,9 @@
 #if HTP_OBS_ENABLED
 
 #include <algorithm>
+#include <array>
 #include <atomic>
+#include <bit>
 #include <chrono>
 #include <limits>
 #include <mutex>
@@ -41,6 +43,34 @@ struct TimerCell {
   }
 };
 
+// bit_width(v) in [0, 64] indexes the log2 bucket: 0 for v == 0, i for
+// v in [2^(i-1), 2^i).
+constexpr std::size_t kHistogramBuckets = 65;
+
+struct HistogramCell {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t max = 0;
+  std::array<std::uint64_t, kHistogramBuckets> buckets{};
+
+  void Record(std::uint64_t value) {
+    ++count;
+    sum += value;
+    min = std::min(min, value);
+    max = std::max(max, value);
+    ++buckets[std::bit_width(value)];
+  }
+  void MergeFrom(const HistogramCell& other) {
+    count += other.count;
+    sum += other.sum;
+    min = std::min(min, other.min);
+    max = std::max(max, other.max);
+    for (std::size_t i = 0; i < kHistogramBuckets; ++i)
+      buckets[i] += other.buckets[i];
+  }
+};
+
 // A span as recorded on the hot path: timer id + literal arg key, resolved
 // to strings only when drained.
 struct RawEvent {
@@ -50,6 +80,17 @@ struct RawEvent {
   std::uint64_t arg_value;
   std::uint64_t ts_ns;
   std::uint64_t dur_ns;
+};
+
+// A journal record as buffered on the hot path: event id, timestamp, and
+// the literal-key payload pairs. Fixed capacity — excess fields at the
+// recording site are dropped (the sites are ours; kMaxEventFields is an
+// API promise, not a runtime surprise).
+struct RawJournal {
+  std::uint32_t event_id;
+  std::uint32_t num_fields;
+  std::uint64_t ts_ns;
+  std::array<EventField, kMaxEventFields> fields;
 };
 
 struct ThreadShard;
@@ -81,14 +122,40 @@ class Registry {
     return static_cast<std::uint32_t>(timer_names_.size() - 1);
   }
 
+  std::uint32_t InternHistogram(const char* name, HistogramKind kind) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    histogram_names_.emplace_back(name);
+    histogram_kinds_.push_back(kind);
+    histogram_totals_.emplace_back();
+    return static_cast<std::uint32_t>(histogram_names_.size() - 1);
+  }
+
+  std::uint32_t InternEvent(const char* name) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    event_names_.emplace_back(name);
+    return static_cast<std::uint32_t>(event_names_.size() - 1);
+  }
+
   std::uint32_t AssignTid() {
     std::lock_guard<std::mutex> lock(mutex_);
     return next_tid_++;
   }
 
+  void NameLane(std::uint32_t tid, const std::string& name) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (lane_names_.size() <= tid) lane_names_.resize(tid + 1);
+    lane_names_[tid] = name;
+  }
+
+  std::vector<std::string> LaneNames() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return lane_names_;
+  }
+
   void Merge(ThreadShard& shard);
   Snapshot TakeSnapshot(const ThreadShard& local);
   std::vector<TraceEvent> DrainTrace(ThreadShard& local);
+  std::vector<EventRecord> DrainEvents(ThreadShard& local);
   void Reset(ThreadShard& local);
 
  private:
@@ -104,6 +171,10 @@ class Registry {
     for (std::size_t i = 0; i < cells.size(); ++i)
       if (cells[i].count > 0) timer_totals_[i].MergeFrom(cells[i]);
   }
+  void MergeHistogramsLocked(const std::vector<HistogramCell>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i)
+      if (cells[i].count > 0) histogram_totals_[i].MergeFrom(cells[i]);
+  }
   TraceEvent Resolve(const RawEvent& raw) const {
     return TraceEvent{timer_names_[raw.timer_id],
                       raw.arg_key ? raw.arg_key : "",
@@ -112,6 +183,15 @@ class Registry {
                       raw.dur_ns,
                       raw.tid};
   }
+  EventRecord ResolveJournal(const RawJournal& raw) const {
+    EventRecord record;
+    record.name = event_names_[raw.event_id];
+    record.ts_ns = raw.ts_ns;
+    record.fields.reserve(raw.num_fields);
+    for (std::uint32_t i = 0; i < raw.num_fields; ++i)
+      record.fields.emplace_back(raw.fields[i].key, raw.fields[i].value);
+    return record;
+  }
 
   std::mutex mutex_;
   std::vector<std::string> counter_names_;
@@ -119,7 +199,13 @@ class Registry {
   std::vector<std::uint64_t> counter_totals_;
   std::vector<std::string> timer_names_;
   std::vector<TimerCell> timer_totals_;
+  std::vector<std::string> histogram_names_;
+  std::vector<HistogramKind> histogram_kinds_;
+  std::vector<HistogramCell> histogram_totals_;
+  std::vector<std::string> event_names_;
   std::vector<RawEvent> events_;
+  std::vector<RawJournal> journal_;
+  std::vector<std::string> lane_names_;
   std::uint32_t next_tid_ = 0;
 };
 
@@ -131,7 +217,9 @@ class Registry {
 struct ThreadShard {
   std::vector<std::uint64_t> counters;
   std::vector<TimerCell> timers;
+  std::vector<HistogramCell> histograms;
   std::vector<RawEvent> events;
+  std::vector<RawJournal> journal;
   std::uint32_t tid;
 
   ThreadShard() : tid(Registry::Get().AssignTid()) {}
@@ -147,10 +235,14 @@ void Registry::Merge(ThreadShard& shard) {
   std::lock_guard<std::mutex> lock(mutex_);
   MergeCountersLocked(shard.counters);
   MergeTimersLocked(shard.timers);
+  MergeHistogramsLocked(shard.histograms);
   events_.insert(events_.end(), shard.events.begin(), shard.events.end());
+  journal_.insert(journal_.end(), shard.journal.begin(), shard.journal.end());
   shard.counters.clear();
   shard.timers.clear();
+  shard.histograms.clear();
   shard.events.clear();
+  shard.journal.clear();
 }
 
 Snapshot Registry::TakeSnapshot(const ThreadShard& local) {
@@ -166,6 +258,10 @@ Snapshot Registry::TakeSnapshot(const ThreadShard& local) {
   std::vector<TimerCell> timers = timer_totals_;
   for (std::size_t i = 0; i < local.timers.size(); ++i)
     if (local.timers[i].count > 0) timers[i].MergeFrom(local.timers[i]);
+  std::vector<HistogramCell> histograms = histogram_totals_;
+  for (std::size_t i = 0; i < local.histograms.size(); ++i)
+    if (local.histograms[i].count > 0)
+      histograms[i].MergeFrom(local.histograms[i]);
 
   Snapshot snap;
   snap.counters.reserve(counters.size());
@@ -180,12 +276,28 @@ Snapshot Registry::TakeSnapshot(const ThreadShard& local) {
                                      cell.count ? cell.min_ns : 0,
                                      cell.max_ns});
   }
+  snap.histograms.reserve(histograms.size());
+  for (std::size_t i = 0; i < histograms.size(); ++i) {
+    const HistogramCell& cell = histograms[i];
+    HistogramValue value{histogram_names_[i], histogram_kinds_[i],
+                         cell.count,          cell.sum,
+                         cell.count ? cell.min : 0,
+                         cell.max,            {}};
+    std::size_t used = kHistogramBuckets;
+    while (used > 0 && cell.buckets[used - 1] == 0) --used;
+    value.buckets.assign(cell.buckets.begin(), cell.buckets.begin() + used);
+    snap.histograms.push_back(std::move(value));
+  }
   std::sort(snap.counters.begin(), snap.counters.end(),
             [](const CounterValue& a, const CounterValue& b) {
               return a.name < b.name;
             });
   std::sort(snap.timers.begin(), snap.timers.end(),
             [](const TimerValue& a, const TimerValue& b) {
+              return a.name < b.name;
+            });
+  std::sort(snap.histograms.begin(), snap.histograms.end(),
+            [](const HistogramValue& a, const HistogramValue& b) {
               return a.name < b.name;
             });
   return snap;
@@ -206,14 +318,42 @@ std::vector<TraceEvent> Registry::DrainTrace(ThreadShard& local) {
   return out;
 }
 
+std::vector<EventRecord> Registry::DrainEvents(ThreadShard& local) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<EventRecord> out;
+  out.reserve(journal_.size() + local.journal.size());
+  for (const RawJournal& raw : journal_) out.push_back(ResolveJournal(raw));
+  for (const RawJournal& raw : local.journal)
+    out.push_back(ResolveJournal(raw));
+  journal_.clear();
+  local.journal.clear();
+  // Order by (name, fields) only — never by timestamp or by shard merge
+  // order — so the drained journal is bit-identical across thread counts
+  // whenever the payloads are. Recording sites make the payload tuples
+  // unique (leading iteration/round/level indices), so ties can only occur
+  // between records that are identical up to their timestamps.
+  std::sort(out.begin(), out.end(),
+            [](const EventRecord& a, const EventRecord& b) {
+              if (a.name != b.name) return a.name < b.name;
+              return a.fields < b.fields;
+            });
+  return out;
+}
+
 void Registry::Reset(ThreadShard& local) {
   std::lock_guard<std::mutex> lock(mutex_);
   std::fill(counter_totals_.begin(), counter_totals_.end(), 0);
   std::fill(timer_totals_.begin(), timer_totals_.end(), TimerCell{});
+  std::fill(histogram_totals_.begin(), histogram_totals_.end(),
+            HistogramCell{});
   events_.clear();
+  journal_.clear();
   local.counters.clear();
   local.timers.clear();
+  local.histograms.clear();
   local.events.clear();
+  local.journal.clear();
+  // lane_names_ survives: the threads that claimed them are still alive.
 }
 
 void RecordTimer(std::uint32_t id, std::uint64_t dur_ns) {
@@ -237,6 +377,37 @@ void Counter::Add(std::uint64_t n) {
 }
 
 Timer::Timer(const char* name) : id_(Registry::Get().InternTimer(name)) {}
+
+Histogram::Histogram(const char* name, HistogramKind kind)
+    : id_(Registry::Get().InternHistogram(name, kind)) {}
+
+void Histogram::Record(std::uint64_t value) {
+  ThreadShard& shard = Shard();
+  if (shard.histograms.size() <= id_) shard.histograms.resize(id_ + 1);
+  shard.histograms[id_].Record(value);
+}
+
+ScopedHistogramTimer::ScopedHistogramTimer(Histogram& histogram)
+    : histogram_(histogram), start_ns_(NowNs()) {}
+
+ScopedHistogramTimer::~ScopedHistogramTimer() {
+  histogram_.Record(NowNs() - start_ns_);
+}
+
+Event::Event(const char* name) : id_(Registry::Get().InternEvent(name)) {}
+
+void Event::Record(std::initializer_list<EventField> fields) {
+  ThreadShard& shard = Shard();
+  RawJournal raw;
+  raw.event_id = id_;
+  raw.ts_ns = NowNs();
+  raw.num_fields = 0;
+  for (const EventField& field : fields) {
+    if (raw.num_fields == kMaxEventFields) break;
+    raw.fields[raw.num_fields++] = field;
+  }
+  shard.journal.push_back(raw);
+}
 
 ScopedTimer::ScopedTimer(const Timer& timer)
     : id_(timer.id()), start_ns_(NowNs()) {}
@@ -263,10 +434,22 @@ void SetTracing(bool enabled) {
 
 bool TracingEnabled() { return g_tracing.load(std::memory_order_relaxed); }
 
+void NameThisThread(const std::string& name) {
+  Registry::Get().NameLane(Shard().tid, name);
+}
+
+std::vector<std::string> TakeLaneNames() {
+  return Registry::Get().LaneNames();
+}
+
 Snapshot TakeSnapshot() { return Registry::Get().TakeSnapshot(Shard()); }
 
 std::vector<TraceEvent> DrainTrace() {
   return Registry::Get().DrainTrace(Shard());
+}
+
+std::vector<EventRecord> DrainEvents() {
+  return Registry::Get().DrainEvents(Shard());
 }
 
 void ResetAll() { Registry::Get().Reset(Shard()); }

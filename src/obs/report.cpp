@@ -1,0 +1,233 @@
+#include "obs/report.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "obs/json.hpp"
+
+namespace htp::obs {
+namespace {
+
+// Counters whose values are derived from the wall clock even though they
+// live in the counter registry (docs/observability.md "Determinism
+// contract"). Routed into the wall section so the deterministic section
+// stays diffable across thread counts even on deadline-budgeted runs.
+constexpr const char* kWallCounters[] = {"driver.budget_remaining_ms"};
+
+bool IsWallCounter(const std::string& name) {
+  for (const char* wall : kWallCounters)
+    if (name == wall) return true;
+  return false;
+}
+
+void WriteHistogram(JsonWriter& w, const HistogramValue& h) {
+  w.BeginObject();
+  w.Key("count");
+  w.Number(h.count);
+  w.Key("sum");
+  w.Number(h.sum);
+  w.Key("min");
+  w.Number(h.min);
+  w.Key("max");
+  w.Number(h.max);
+  // buckets[i] counts values v with bit_width(v) == i, i.e. bucket 0 is
+  // v == 0 and bucket i >= 1 is v in [2^(i-1), 2^i). Emitted sparse as
+  // [bucket_index, count] pairs.
+  w.Key("buckets");
+  w.BeginArray();
+  for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+    if (h.buckets[i] == 0) continue;
+    w.BeginArray();
+    w.Number(static_cast<std::uint64_t>(i));
+    w.Number(h.buckets[i]);
+    w.EndArray();
+  }
+  w.EndArray();
+  w.EndObject();
+}
+
+}  // namespace
+
+RunReportBuilder::RunReportBuilder(std::string tool)
+    : tool_(std::move(tool)) {}
+
+void RunReportBuilder::MetaString(std::string_view key,
+                                  std::string_view value) {
+  meta_.push_back({Entry::Kind::kString, std::string(key),
+                   std::string(value), 0.0, false});
+}
+
+void RunReportBuilder::MetaNumber(std::string_view key, double value) {
+  meta_.push_back({Entry::Kind::kNumber, std::string(key), "", value, false});
+}
+
+void RunReportBuilder::MetaBool(std::string_view key, bool value) {
+  meta_.push_back({Entry::Kind::kBool, std::string(key), "", 0.0, value});
+}
+
+void RunReportBuilder::ResultString(std::string_view key,
+                                    std::string_view value) {
+  result_.push_back({Entry::Kind::kString, std::string(key),
+                     std::string(value), 0.0, false});
+}
+
+void RunReportBuilder::ResultNumber(std::string_view key, double value) {
+  result_.push_back(
+      {Entry::Kind::kNumber, std::string(key), "", value, false});
+}
+
+void RunReportBuilder::ResultBool(std::string_view key, bool value) {
+  result_.push_back({Entry::Kind::kBool, std::string(key), "", 0.0, value});
+}
+
+void RunReportBuilder::WallString(std::string_view key,
+                                  std::string_view value) {
+  wall_.push_back({Entry::Kind::kString, std::string(key),
+                   std::string(value), 0.0, false});
+}
+
+void RunReportBuilder::WallNumber(std::string_view key, double value) {
+  wall_.push_back({Entry::Kind::kNumber, std::string(key), "", value, false});
+}
+
+std::string RunReportBuilder::Render(
+    const Snapshot& snapshot, const std::vector<EventRecord>& journal) const {
+  JsonWriter w;
+  auto write_entries = [&w](const std::vector<Entry>& entries) {
+    w.BeginObject();
+    for (const Entry& e : entries) {
+      w.Key(e.key);
+      switch (e.kind) {
+        case Entry::Kind::kString: w.String(e.string_value); break;
+        case Entry::Kind::kNumber: w.Number(e.number_value); break;
+        case Entry::Kind::kBool: w.Bool(e.bool_value); break;
+      }
+    }
+    w.EndObject();
+  };
+
+  w.BeginObject();
+  w.Key("schema");
+  w.String(kRunReportSchema);
+  w.Key("schema_version");
+  w.Number(static_cast<std::int64_t>(kRunReportSchemaVersion));
+  w.Key("tool");
+  w.String(tool_);
+
+  w.Key("deterministic");
+  w.BeginObject();
+  w.Key("meta");
+  write_entries(meta_);
+  w.Key("result");
+  write_entries(result_);
+  w.Key("counters");
+  w.BeginObject();
+  for (const CounterValue& c : snapshot.counters) {
+    if (IsWallCounter(c.name)) continue;
+    w.Key(c.name);
+    w.Number(c.value);
+  }
+  w.EndObject();
+  w.Key("histograms");
+  w.BeginObject();
+  for (const HistogramValue& h : snapshot.histograms) {
+    if (h.kind != HistogramKind::kValue) continue;
+    w.Key(h.name);
+    WriteHistogram(w, h);
+  }
+  w.EndObject();
+  // The decision journal: drained obs::Events in their deterministic
+  // (name, fields) order, timestamps stripped (the Chrome trace is the
+  // timing view; this is the trajectory view).
+  w.Key("journal");
+  w.BeginArray();
+  for (const EventRecord& record : journal) {
+    w.BeginObject();
+    w.Key("event");
+    w.String(record.name);
+    for (const auto& [key, value] : record.fields) {
+      w.Key(key);
+      w.Number(value);
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();  // deterministic
+
+  w.Key("wall");
+  w.BeginObject();
+  w.Key("meta");
+  write_entries(wall_);
+  w.Key("counters");
+  w.BeginObject();
+  for (const CounterValue& c : snapshot.counters) {
+    if (!IsWallCounter(c.name)) continue;
+    w.Key(c.name);
+    w.Number(c.value);
+  }
+  w.EndObject();
+  w.Key("timers");
+  w.BeginObject();
+  for (const TimerValue& t : snapshot.timers) {
+    if (t.count == 0) continue;
+    w.Key(t.name);
+    w.BeginObject();
+    w.Key("count");
+    w.Number(t.count);
+    w.Key("total_ns");
+    w.Number(t.total_ns);
+    w.Key("min_ns");
+    w.Number(t.min_ns);
+    w.Key("max_ns");
+    w.Number(t.max_ns);
+    w.EndObject();
+  }
+  w.EndObject();
+  w.Key("histograms");
+  w.BeginObject();
+  for (const HistogramValue& h : snapshot.histograms) {
+    if (h.kind != HistogramKind::kTimeNs || h.count == 0) continue;
+    w.Key(h.name);
+    WriteHistogram(w, h);
+  }
+  w.EndObject();
+  w.EndObject();  // wall
+
+  w.EndObject();
+  return std::move(w).Take();
+}
+
+std::string_view DeterministicSection(std::string_view report_json) {
+  constexpr std::string_view kKey = "\"deterministic\":";
+  const std::size_t key_pos = report_json.find(kKey);
+  if (key_pos == std::string_view::npos) return {};
+  std::size_t pos = key_pos + kKey.size();
+  if (pos >= report_json.size() || report_json[pos] != '{') return {};
+  // Brace-match, skipping string literals (a journal field could contain
+  // braces in a name).
+  int depth = 0;
+  bool in_string = false, escaped = false;
+  for (std::size_t i = pos; i < report_json.size(); ++i) {
+    const char c = report_json[i];
+    if (in_string) {
+      if (escaped)
+        escaped = false;
+      else if (c == '\\')
+        escaped = true;
+      else if (c == '"')
+        in_string = false;
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+    } else if (c == '{') {
+      ++depth;
+    } else if (c == '}') {
+      if (--depth == 0) return report_json.substr(pos, i - pos + 1);
+    }
+  }
+  return {};
+}
+
+}  // namespace htp::obs

@@ -5,38 +5,19 @@
 #include <ostream>
 #include <set>
 
+#include "obs/json.hpp"
+
 namespace htp::obs {
 namespace {
-
-// Counter/timer names and arg keys are C++ identifiers-with-dots chosen by
-// the instrumentation sites; escaping still guards against a stray quote or
-// backslash ever reaching a sink.
-std::string JsonEscape(std::string_view s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
 
 std::string FormatMs(std::uint64_t ns) {
   char buf[32];
   std::snprintf(buf, sizeof buf, "%.3f", static_cast<double>(ns) / 1e6);
   return buf;
+}
+
+const char* HistogramKindName(HistogramKind kind) {
+  return kind == HistogramKind::kValue ? "value" : "time_ns";
 }
 
 }  // namespace
@@ -69,11 +50,25 @@ std::string RenderStatsReport(const Snapshot& snapshot) {
                   FormatMs(t.min_ns).c_str(), FormatMs(t.max_ns).c_str());
     out += line;
   }
+  if (!snapshot.histograms.empty()) {
+    std::snprintf(line, sizeof line, "%-36s %8s %10s %14s %12s %12s\n",
+                  "histogram", "kind", "count", "sum", "min", "max");
+    out += line;
+    for (const HistogramValue& h : snapshot.histograms) {
+      std::snprintf(line, sizeof line, "%-36s %8s %10llu %14llu %12llu %12llu\n",
+                    h.name.c_str(), HistogramKindName(h.kind),
+                    static_cast<unsigned long long>(h.count),
+                    static_cast<unsigned long long>(h.sum),
+                    static_cast<unsigned long long>(h.min),
+                    static_cast<unsigned long long>(h.max));
+      out += line;
+    }
+  }
   return out;
 }
 
-void WriteChromeTrace(std::ostream& os,
-                      const std::vector<TraceEvent>& events) {
+void WriteChromeTrace(std::ostream& os, const std::vector<TraceEvent>& events,
+                      const std::vector<std::string>& lane_names) {
   os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
   auto sep = [&] {
@@ -82,15 +77,21 @@ void WriteChromeTrace(std::ostream& os,
     os << "\n";
   };
   // One metadata event per lane so chrome://tracing / Perfetto label the
-  // rows; lane ids are assigned in first-touch order, so they are stable
-  // within a run but not across runs.
+  // rows. Lanes claimed via NameThisThread carry their role name ("main",
+  // "worker-<i>" — deterministic across runs); unnamed lanes fall back to
+  // the first-touch tid.
   std::set<std::uint32_t> tids;
   for (const TraceEvent& e : events) tids.insert(e.tid);
   for (std::uint32_t tid : tids) {
+    std::string name;
+    if (tid < lane_names.size() && !lane_names[tid].empty())
+      name = lane_names[tid];
+    else
+      name = "htp-thread-" + std::to_string(tid);
     sep();
     os << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
-       << ",\"name\":\"thread_name\",\"args\":{\"name\":\"htp-thread-" << tid
-       << "\"}}";
+       << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
+       << EscapeJson(name) << "\"}}";
   }
   char num[32];
   for (const TraceEvent& e : events) {
@@ -101,9 +102,9 @@ void WriteChromeTrace(std::ostream& os,
     std::snprintf(num, sizeof num, "%.3f",
                   static_cast<double>(e.dur_ns) / 1e3);
     os << ",\"dur\":" << num << ",\"cat\":\"htp\",\"name\":\""
-       << JsonEscape(e.name) << "\"";
+       << EscapeJson(e.name) << "\"";
     if (!e.arg_key.empty())
-      os << ",\"args\":{\"" << JsonEscape(e.arg_key)
+      os << ",\"args\":{\"" << EscapeJson(e.arg_key)
          << "\":" << e.arg_value << "}";
     os << "}";
   }
@@ -112,19 +113,29 @@ void WriteChromeTrace(std::ostream& os,
 
 void WriteJsonlSnapshot(std::ostream& os, const Snapshot& snapshot,
                         std::string_view bench, std::string_view scope) {
-  const std::string prefix = "{\"bench\":\"" + JsonEscape(bench) +
-                             "\",\"scope\":\"" + JsonEscape(scope) + "\"";
+  const std::string prefix = "{\"bench\":\"" + EscapeJson(bench) +
+                             "\",\"scope\":\"" + EscapeJson(scope) + "\"";
   for (const CounterValue& c : snapshot.counters) {
-    os << prefix << ",\"type\":\"counter\",\"name\":\"" << JsonEscape(c.name)
+    os << prefix << ",\"type\":\"counter\",\"name\":\"" << EscapeJson(c.name)
        << "\",\"kind\":\""
        << (c.kind == CounterKind::kSum ? "sum" : "max")
        << "\",\"value\":" << c.value << "}\n";
   }
   for (const TimerValue& t : snapshot.timers) {
     if (t.count == 0) continue;  // unrecorded timers carry no information
-    os << prefix << ",\"type\":\"timer\",\"name\":\"" << JsonEscape(t.name)
+    os << prefix << ",\"type\":\"timer\",\"name\":\"" << EscapeJson(t.name)
        << "\",\"count\":" << t.count << ",\"total_ns\":" << t.total_ns
        << ",\"min_ns\":" << t.min_ns << ",\"max_ns\":" << t.max_ns << "}\n";
+  }
+  for (const HistogramValue& h : snapshot.histograms) {
+    if (h.count == 0) continue;  // same rule as timers
+    os << prefix << ",\"type\":\"histogram\",\"name\":\""
+       << EscapeJson(h.name) << "\",\"kind\":\"" << HistogramKindName(h.kind)
+       << "\",\"count\":" << h.count << ",\"sum\":" << h.sum
+       << ",\"min\":" << h.min << ",\"max\":" << h.max << ",\"buckets\":[";
+    for (std::size_t i = 0; i < h.buckets.size(); ++i)
+      os << (i ? "," : "") << h.buckets[i];
+    os << "]}\n";
   }
 }
 

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <exception>
+#include <string>
 #include <utility>
+
+#include "obs/obs.hpp"
 
 namespace htp {
 namespace {
@@ -24,7 +27,12 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
   num_threads = std::max<std::size_t>(1, num_threads);
   workers_.reserve(num_threads);
   for (std::size_t i = 0; i < num_threads; ++i)
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] {
+      // Name the trace lane by pool index, not by scheduling order: traces
+      // from repeated runs line up lane for lane (obs::NameThisThread).
+      obs::NameThisThread("worker-" + std::to_string(i));
+      WorkerLoop();
+    });
 }
 
 ThreadPool::~ThreadPool() {

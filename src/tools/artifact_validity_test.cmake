@@ -1,0 +1,55 @@
+# End-to-end artifact validity: run htp_cli with every observability sink
+# enabled (multilevel pipeline, parallel inner scan) and check that all
+# three artifacts parse — the trace and JSONL via json.load, the RunReport
+# via scripts/obs_report.py validate (schema check) and render.
+#
+# Driven by ctest as
+#   cmake -DCLI=... -DPYTHON=... -DSCRIPT=... -DWORK_DIR=... -P this_file
+file(MAKE_DIRECTORY ${WORK_DIR})
+set(TRACE ${WORK_DIR}/run.trace.json)
+set(JSONL ${WORK_DIR}/run.obs.jsonl)
+set(REPORT ${WORK_DIR}/run.report.json)
+
+execute_process(
+  COMMAND ${CLI} --circuit c2670 --height 3 --iterations 2 --multilevel
+          --coarsen-threshold 300 --metric-threads 8
+          --trace ${TRACE} --obs-jsonl ${JSONL} --report ${REPORT}
+  RESULT_VARIABLE cli_status)
+if(NOT cli_status EQUAL 0)
+  message(FATAL_ERROR "htp_cli failed with status ${cli_status}")
+endif()
+
+# With obs compiled out all three artifacts must still be valid JSON, but
+# the telemetry in them is legitimately empty — only gate on content when
+# the probes are compiled in.
+execute_process(
+  COMMAND ${PYTHON} -c
+"import json, sys
+trace, jsonl, report, obs_on = sys.argv[1:5]
+t = json.load(open(trace))
+assert isinstance(t['traceEvents'], list), 'trace must carry traceEvents'
+rows = [json.loads(line) for line in open(jsonl)]
+assert all('type' in row and 'name' in row for row in rows)
+if obs_on == '1':
+    assert rows, 'jsonl snapshot must not be empty'
+json.load(open(report))
+print(f'trace {len(t[\"traceEvents\"])} events, jsonl {len(rows)} rows')"
+          ${TRACE} ${JSONL} ${REPORT} ${OBS_ENABLED}
+  RESULT_VARIABLE parse_status)
+if(NOT parse_status EQUAL 0)
+  message(FATAL_ERROR "artifact JSON parse failed")
+endif()
+
+execute_process(
+  COMMAND ${PYTHON} ${SCRIPT} validate ${REPORT}
+  RESULT_VARIABLE validate_status)
+if(NOT validate_status EQUAL 0)
+  message(FATAL_ERROR "obs_report.py validate rejected the report")
+endif()
+
+execute_process(
+  COMMAND ${PYTHON} ${SCRIPT} render ${REPORT}
+  RESULT_VARIABLE render_status OUTPUT_QUIET)
+if(NOT render_status EQUAL 0)
+  message(FATAL_ERROR "obs_report.py render failed")
+endif()

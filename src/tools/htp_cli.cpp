@@ -26,6 +26,7 @@
 #include "netlist/bench_parser.hpp"
 #include "netlist/generators.hpp"
 #include "obs/obs.hpp"
+#include "obs/report.hpp"
 #include "obs/sinks.hpp"
 #include "partition/gfm.hpp"
 #include "partition/htp_fm.hpp"
@@ -91,7 +92,17 @@ void Usage(const char* argv0) {
                "report\n"
                "  --trace FILE       write a Chrome trace_event JSON of the "
                "run\n"
-               "                     (open in chrome://tracing or Perfetto)\n",
+               "                     (open in chrome://tracing or Perfetto)\n"
+               "  --report FILE      write the schema-versioned RunReport "
+               "JSON\n"
+               "                     (deterministic journal + wall stats; "
+               "validate,\n"
+               "                     render, or diff with "
+               "scripts/obs_report.py)\n"
+               "  --obs-jsonl FILE   write the telemetry snapshot as JSONL "
+               "rows\n"
+               "                     (one object per counter/timer/"
+               "histogram)\n",
                argv0);
 }
 
@@ -115,7 +126,7 @@ std::vector<double> ParseWeights(const std::string& csv) {
 int main(int argc, char** argv) {
   using namespace htp;
   std::string bench_file, circuit = "c1355", algo = "flow", out_file;
-  std::string dot_file, trace_file, stats_file;
+  std::string dot_file, trace_file, stats_file, report_file, jsonl_file;
   std::string weights_csv;
   std::vector<double> weights;
   Level height = 4;
@@ -161,6 +172,8 @@ int main(int argc, char** argv) {
       else if (arg("--out")) out_file = argv[++i];
       else if (arg("--dot")) dot_file = argv[++i];
       else if (arg("--trace")) trace_file = argv[++i];
+      else if (arg("--report")) report_file = argv[++i];
+      else if (arg("--obs-jsonl")) jsonl_file = argv[++i];
       else if (std::strcmp(argv[i], "--stats") == 0) stats = true;
       else if (std::strncmp(argv[i], "--stats=", 8) == 0) {
         stats = true;
@@ -192,6 +205,9 @@ int main(int argc, char** argv) {
   }
 
   if (!trace_file.empty()) obs::SetTracing(true);
+  // Deterministic lane naming: the driver thread is "main", pool workers
+  // are "worker-<i>" (named by the runtime), so repeated traces line up.
+  obs::NameThisThread("main");
 
   try {
     Hypergraph hg = bench_file.empty()
@@ -214,10 +230,12 @@ int main(int argc, char** argv) {
       throw Error("--multilevel requires --algo flow or flow-mst");
 
     TreePartition tp(hg, 0);
+    std::string run_report;
     if (algo == "flow" || algo == "flow-mst") {
       HtpFlowParams params;
       params.iterations = iterations;
       params.seed = seed;
+      params.collect_report = !report_file.empty();
       params.threads = threads;
       params.metric_threads = metric_threads;
       params.budget.max_rounds = budget.max_rounds;
@@ -235,8 +253,10 @@ int main(int argc, char** argv) {
       if (multilevel) {
         MultilevelParams ml;
         ml.flow = params;
+        ml.collect_report = !report_file.empty();
         ml.coarsen_threshold = static_cast<NodeId>(coarsen_threshold);
         MultilevelResult result = RunMultilevelFlow(hg, spec, ml);
+        run_report = std::move(result.report);
         std::printf(
             "multilevel: %zu coarsening levels, coarsest %u nodes, "
             "coarse cost %.0f%s\n",
@@ -263,6 +283,7 @@ int main(int argc, char** argv) {
           std::printf("flow: stop_reason=%s (%zu of %zu iterations ran)\n",
                       StopReasonName(result.stop_reason),
                       result.iterations.size(), iterations);
+        run_report = std::move(result.report);
         tp = std::move(result.partition);
       }
     } else if (algo == "rfm") {
@@ -304,11 +325,38 @@ int main(int argc, char** argv) {
     if (!trace_file.empty()) {
       std::ofstream trace(trace_file);
       if (!trace) throw Error("cannot open for writing: " + trace_file);
-      obs::WriteChromeTrace(trace, obs::DrainTrace());
+      obs::WriteChromeTrace(trace, obs::DrainTrace(), obs::TakeLaneNames());
       std::printf("chrome trace written to %s%s\n", trace_file.c_str(),
                   obs::TracingEnabled()
                       ? ""
                       : " (empty: built with HTP_OBS_ENABLED=OFF)");
+    }
+    if (!report_file.empty()) {
+      // The flow pipelines assemble their own report (with their result
+      // fields and the drained journal); rfm/gfm runs get a CLI-level one
+      // so --report always yields a valid artifact.
+      if (run_report.empty()) {
+        obs::RunReportBuilder rb("htp_cli");
+        rb.MetaString("algorithm", algo);
+        rb.MetaNumber("nodes", static_cast<double>(hg.num_nodes()));
+        rb.MetaNumber("nets", static_cast<double>(hg.num_nets()));
+        rb.MetaNumber("levels", static_cast<double>(spec.num_levels()));
+        rb.MetaNumber("seed", static_cast<double>(seed));
+        rb.ResultNumber("cost", PartitionCost(tp, spec));
+        rb.WallNumber("threads", static_cast<double>(threads));
+        run_report = rb.Render(obs::TakeSnapshot(), obs::DrainEvents());
+      }
+      std::ofstream report(report_file);
+      if (!report) throw Error("cannot open for writing: " + report_file);
+      report << run_report << '\n';
+      std::printf("run report written to %s\n", report_file.c_str());
+    }
+    if (!jsonl_file.empty()) {
+      std::ofstream jsonl(jsonl_file);
+      if (!jsonl) throw Error("cannot open for writing: " + jsonl_file);
+      obs::WriteJsonlSnapshot(jsonl, obs::TakeSnapshot(), "htp_cli",
+                              bench_file.empty() ? circuit : bench_file);
+      std::printf("obs jsonl written to %s\n", jsonl_file.c_str());
     }
     if (stats) {
       const std::string report = obs::RenderStatsReport(obs::TakeSnapshot());

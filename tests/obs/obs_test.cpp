@@ -147,6 +147,181 @@ TEST(ObsTrace, WorkersGetTheirOwnLanes) {
   }
 }
 
+obs::HistogramValue FindHistogram(const obs::Snapshot& snap,
+                                  const std::string& name) {
+  for (const obs::HistogramValue& h : snap.histograms)
+    if (h.name == name) return h;
+  ADD_FAILURE() << "histogram not in snapshot: " << name;
+  return {};
+}
+
+TEST(ObsHistogram, BucketsByBitWidthWithSummaryStats) {
+  static obs::Histogram histogram("test.hist_buckets");
+  obs::ResetAll();
+  histogram.Record(0);   // bucket 0
+  histogram.Record(1);   // bucket 1: [1, 2)
+  histogram.Record(2);   // bucket 2: [2, 4)
+  histogram.Record(3);   // bucket 2
+  histogram.Record(16);  // bucket 5: [16, 32)
+  const obs::HistogramValue h =
+      FindHistogram(obs::TakeSnapshot(), "test.hist_buckets");
+  EXPECT_EQ(h.kind, obs::HistogramKind::kValue);
+  EXPECT_EQ(h.count, 5u);
+  EXPECT_EQ(h.sum, 22u);
+  EXPECT_EQ(h.min, 0u);
+  EXPECT_EQ(h.max, 16u);
+  ASSERT_EQ(h.buckets.size(), 6u) << "trailing zero buckets are trimmed";
+  EXPECT_EQ(h.buckets[0], 1u);
+  EXPECT_EQ(h.buckets[1], 1u);
+  EXPECT_EQ(h.buckets[2], 2u);
+  EXPECT_EQ(h.buckets[3], 0u);
+  EXPECT_EQ(h.buckets[4], 0u);
+  EXPECT_EQ(h.buckets[5], 1u);
+}
+
+TEST(ObsHistogram, MergesDeterministicallyAcrossThreadCounts) {
+  static obs::Histogram histogram("test.hist_merge");
+  std::vector<std::uint64_t> reference_buckets;
+  for (std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    SCOPED_TRACE(threads);
+    obs::ResetAll();
+    ParallelFor(threads, 200, [](std::size_t i) { histogram.Record(i); });
+    const obs::HistogramValue h =
+        FindHistogram(obs::TakeSnapshot(), "test.hist_merge");
+    EXPECT_EQ(h.count, 200u);
+    EXPECT_EQ(h.sum, 19900u);
+    EXPECT_EQ(h.min, 0u);
+    EXPECT_EQ(h.max, 199u);
+    if (reference_buckets.empty())
+      reference_buckets = h.buckets;
+    else
+      EXPECT_EQ(h.buckets, reference_buckets);
+  }
+}
+
+TEST(ObsHistogram, ScopedTimerRecordsIntoTimeKind) {
+  static obs::Histogram histogram("test.hist_time",
+                                  obs::HistogramKind::kTimeNs);
+  obs::ResetAll();
+  { obs::ScopedHistogramTimer t(histogram); }
+  const obs::HistogramValue h =
+      FindHistogram(obs::TakeSnapshot(), "test.hist_time");
+  EXPECT_EQ(h.kind, obs::HistogramKind::kTimeNs);
+  EXPECT_EQ(h.count, 1u);
+  EXPECT_GE(h.max, h.min);
+}
+
+TEST(ObsEvent, RecordsPayloadInSiteOrderAndDrainsOnce) {
+  static obs::Event event("test.event_basic");
+  obs::ResetAll();
+  event.Record({{"round", 2.0}, {"mass", 1.5}});
+  std::vector<obs::EventRecord> journal = obs::DrainEvents();
+  ASSERT_EQ(journal.size(), 1u);
+  EXPECT_EQ(journal[0].name, "test.event_basic");
+  ASSERT_EQ(journal[0].fields.size(), 2u);
+  EXPECT_EQ(journal[0].fields[0].first, "round");
+  EXPECT_EQ(journal[0].fields[0].second, 2.0);
+  EXPECT_EQ(journal[0].fields[1].first, "mass");
+  EXPECT_EQ(journal[0].fields[1].second, 1.5);
+  EXPECT_TRUE(obs::DrainEvents().empty()) << "drain moves the journal out";
+}
+
+TEST(ObsEvent, DrainOrderIsPayloadNotTimestamp) {
+  // Record in descending payload order; the drained journal must come back
+  // ascending by (name, fields) — a timestamp sort would preserve the
+  // recording order instead.
+  static obs::Event b_event("test.event_order_b");
+  static obs::Event a_event("test.event_order_a");
+  obs::ResetAll();
+  b_event.Record({{"i", 1.0}});
+  a_event.Record({{"i", 9.0}});
+  a_event.Record({{"i", 3.0}});
+  const std::vector<obs::EventRecord> journal = obs::DrainEvents();
+  ASSERT_EQ(journal.size(), 3u);
+  EXPECT_EQ(journal[0].name, "test.event_order_a");
+  EXPECT_EQ(journal[0].fields[0].second, 3.0);
+  EXPECT_EQ(journal[1].name, "test.event_order_a");
+  EXPECT_EQ(journal[1].fields[0].second, 9.0);
+  EXPECT_EQ(journal[2].name, "test.event_order_b");
+}
+
+TEST(ObsEvent, JournalIsDeterministicAcrossThreadCounts) {
+  static obs::Event event("test.event_merge");
+  std::vector<std::vector<std::pair<std::string, double>>> reference;
+  for (std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    SCOPED_TRACE(threads);
+    obs::ResetAll();
+    ParallelFor(threads, 50, [](std::size_t i) {
+      event.Record({{"i", static_cast<double>(i)},
+                    {"sq", static_cast<double>(i * i)}});
+    });
+    const std::vector<obs::EventRecord> journal = obs::DrainEvents();
+    ASSERT_EQ(journal.size(), 50u);
+    std::vector<std::vector<std::pair<std::string, double>>> payloads;
+    for (const obs::EventRecord& record : journal)
+      payloads.push_back(record.fields);
+    if (reference.empty())
+      reference = payloads;
+    else
+      EXPECT_EQ(payloads, reference);
+  }
+}
+
+TEST(ObsEvent, ExcessFieldsAreDroppedAtTheCap) {
+  static obs::Event event("test.event_cap");
+  obs::ResetAll();
+  event.Record({{"f0", 0.0},
+                {"f1", 1.0},
+                {"f2", 2.0},
+                {"f3", 3.0},
+                {"f4", 4.0},
+                {"f5", 5.0},
+                {"f6", 6.0},
+                {"f7", 7.0},
+                {"f8", 8.0}});
+  const std::vector<obs::EventRecord> journal = obs::DrainEvents();
+  ASSERT_EQ(journal.size(), 1u);
+  ASSERT_EQ(journal[0].fields.size(), obs::kMaxEventFields);
+  EXPECT_EQ(journal[0].fields.back().first, "f7");
+}
+
+TEST(ObsEvent, ResetDiscardsBufferedRecords) {
+  static obs::Event event("test.event_reset");
+  obs::ResetAll();
+  event.Record({{"i", 1.0}});
+  obs::ResetAll();
+  EXPECT_TRUE(obs::DrainEvents().empty());
+}
+
+TEST(ObsLanes, NamesSurviveResetAndIndexByTid) {
+  obs::ResetAll();
+  obs::NameThisThread("main");
+  obs::ResetAll();  // lane names describe live threads, not run totals
+  const std::vector<std::string> names = obs::TakeLaneNames();
+  bool found = false;
+  for (const std::string& name : names) found |= name == "main";
+  EXPECT_TRUE(found) << "NameThisThread must survive ResetAll";
+}
+
+TEST(ObsLanes, PoolWorkersAreNamedByIndex) {
+  static obs::Timer timer("test.lane_name_timer");
+  obs::ResetAll();
+  obs::SetTracing(true);
+  {
+    ThreadPool pool(2);
+    ParallelFor(pool, 16, [](std::size_t i) {
+      obs::PhaseScope span(timer, "i", i);
+    });
+  }
+  obs::SetTracing(false);
+  obs::DrainTrace();
+  const std::vector<std::string> names = obs::TakeLaneNames();
+  int workers = 0;
+  for (const std::string& name : names)
+    if (name.rfind("worker-", 0) == 0) ++workers;
+  EXPECT_GE(workers, 2) << "ThreadPool must name its workers worker-<i>";
+}
+
 #else  // HTP_OBS_ENABLED == 0
 
 TEST(ObsRegistry, CompiledOutProbesYieldEmptySnapshots) {

@@ -1,0 +1,192 @@
+// Tests for the RunReport artifact (obs/report.hpp): section routing
+// (deterministic vs wall), DeterministicSection extraction, and the
+// headline contract — the deterministic section of a RunHtpFlow /
+// RunMultilevelFlow report is bit-identical for every threads x
+// metric_threads combination. The builder operates on plain data, so the
+// shape tests run with HTP_OBS_ENABLED=OFF too; the pipeline tests then
+// pin the (weaker, still exact) compiled-out artifact.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/htp_flow.hpp"
+#include "multilevel/multilevel_flow.hpp"
+#include "netlist/generators.hpp"
+#include "obs/obs.hpp"
+#include "obs/report.hpp"
+
+namespace htp {
+namespace {
+
+TEST(RunReportBuilder, RoutesSectionsByKindAndStripsTimestamps) {
+  obs::Snapshot snap;
+  snap.counters.push_back({"flow.rounds", obs::CounterKind::kSum, 12});
+  snap.counters.push_back(
+      {"driver.budget_remaining_ms", obs::CounterKind::kMax, 950});
+  obs::HistogramValue value_hist;
+  value_hist.name = "flow.rounds_per_metric";
+  value_hist.kind = obs::HistogramKind::kValue;
+  value_hist.count = 2;
+  value_hist.sum = 5;
+  value_hist.min = 2;
+  value_hist.max = 3;
+  value_hist.buckets = {0, 0, 2};
+  snap.histograms.push_back(value_hist);
+  obs::HistogramValue time_hist = value_hist;
+  time_hist.name = "flow.compute_metric_ns";
+  time_hist.kind = obs::HistogramKind::kTimeNs;
+  snap.histograms.push_back(time_hist);
+  snap.timers.push_back({"driver.run", 1, 5000, 5000, 5000});
+
+  std::vector<obs::EventRecord> journal;
+  obs::EventRecord record;
+  record.name = "flow.round";
+  record.ts_ns = 123456789;  // must NOT appear in the report
+  record.fields = {{"round", 1.0}, {"metric_mass", 2.5}};
+  journal.push_back(record);
+
+  obs::RunReportBuilder rb("test_tool");
+  rb.MetaString("algorithm", "flow");
+  rb.MetaNumber("seed", 7);
+  rb.ResultNumber("cost", 58);
+  rb.ResultBool("completed", true);
+  rb.WallNumber("threads", 8);
+  const std::string json = rb.Render(snap, journal);
+
+  const std::string_view det = obs::DeterministicSection(json);
+  ASSERT_FALSE(det.empty());
+  // Deterministic side: meta, result, pure counters, value histograms,
+  // journal payloads.
+  EXPECT_NE(det.find("\"algorithm\":\"flow\""), std::string_view::npos);
+  EXPECT_NE(det.find("\"cost\":58"), std::string_view::npos);
+  EXPECT_NE(det.find("\"completed\":true"), std::string_view::npos);
+  EXPECT_NE(det.find("\"flow.rounds\":12"), std::string_view::npos);
+  EXPECT_NE(det.find("\"flow.rounds_per_metric\""), std::string_view::npos);
+  EXPECT_NE(det.find("\"event\":\"flow.round\""), std::string_view::npos);
+  EXPECT_NE(det.find("\"metric_mass\":2.5"), std::string_view::npos);
+  // Wall-only data must stay out of the deterministic slice.
+  EXPECT_EQ(det.find("driver.budget_remaining_ms"), std::string_view::npos);
+  EXPECT_EQ(det.find("flow.compute_metric_ns"), std::string_view::npos);
+  EXPECT_EQ(det.find("\"threads\""), std::string_view::npos);
+  EXPECT_EQ(det.find("driver.run"), std::string_view::npos);
+  // Timestamps are stripped everywhere.
+  EXPECT_EQ(json.find("123456789"), std::string::npos);
+  // ... and the wall section carries what the deterministic one must not.
+  EXPECT_NE(json.find("\"driver.budget_remaining_ms\":950"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"flow.compute_metric_ns\""), std::string::npos);
+  EXPECT_NE(json.find("\"threads\":8"), std::string::npos);
+  EXPECT_NE(json.find("\"schema\":\"htp-run-report\""), std::string::npos);
+}
+
+TEST(RunReportBuilder, EscapesHostileMetaValues) {
+  obs::RunReportBuilder rb("tool\"quoted");
+  rb.MetaString("bench\nfile", "a\\b\"c");
+  const std::string json = rb.Render({}, {});
+  EXPECT_NE(json.find("tool\\\"quoted"), std::string::npos);
+  EXPECT_NE(json.find("bench\\nfile"), std::string::npos);
+  EXPECT_NE(json.find("a\\\\b\\\"c"), std::string::npos);
+}
+
+TEST(DeterministicSection, ExtractsTheExactBraceMatchedSlice) {
+  const std::string json =
+      "{\"schema\":\"htp-run-report\",\"deterministic\":"
+      "{\"meta\":{\"weird\":\"br{ace\\\"}\"},\"journal\":[]},"
+      "\"wall\":{}}";
+  const std::string_view det = obs::DeterministicSection(json);
+  ASSERT_FALSE(det.empty());
+  EXPECT_EQ(det.front(), '{');
+  EXPECT_EQ(det.back(), '}');
+  EXPECT_NE(det.find("br{ace"), std::string_view::npos);
+  EXPECT_EQ(det.find("wall"), std::string_view::npos)
+      << "braces inside strings must not derail the matcher";
+  EXPECT_TRUE(obs::DeterministicSection("not a report").empty());
+  EXPECT_TRUE(obs::DeterministicSection("{\"deterministic\":[]}").empty());
+}
+
+// The tentpole contract. Every {threads} x {metric_threads} combination
+// must produce a byte-identical deterministic section: same result, same
+// counter totals, same value histograms, same journal. The wall section
+// (thread counts, timers) is allowed to differ — that is the whole point
+// of the split.
+TEST(RunReportPipeline, DeterministicSectionIsThreadCountInvariant) {
+  const Hypergraph hg = MakeIscas85Like("c1355", 3);
+  const HierarchySpec spec = UniformHierarchy(hg.total_size(), 3, 2, 0.10,
+                                              std::vector<double>(3, 1.0));
+  std::string reference;
+  for (std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    for (std::size_t metric_threads :
+         {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+      SCOPED_TRACE(testing::Message()
+                   << "threads=" << threads
+                   << " metric_threads=" << metric_threads);
+      obs::ResetAll();
+      obs::DrainEvents();
+      HtpFlowParams params;
+      params.iterations = 2;
+      params.seed = 11;
+      params.threads = threads;
+      params.metric_threads = metric_threads;
+      params.collect_report = true;
+      const HtpFlowResult result = RunHtpFlow(hg, spec, params);
+      ASSERT_FALSE(result.report.empty());
+      const std::string_view det = obs::DeterministicSection(result.report);
+      ASSERT_FALSE(det.empty());
+      if (reference.empty())
+        reference = std::string(det);
+      else
+        EXPECT_EQ(det, reference);
+    }
+  }
+#if HTP_OBS_ENABLED
+  EXPECT_NE(reference.find("\"event\":\"driver.iteration\""),
+            std::string::npos);
+  EXPECT_NE(reference.find("\"event\":\"flow.round\""), std::string::npos);
+#else
+  EXPECT_NE(reference.find("\"journal\":[]"), std::string::npos)
+      << "compiled-out builds render reports with empty telemetry";
+#endif
+}
+
+TEST(RunReportPipeline, MultilevelReportCoversTheWholePipeline) {
+  const Hypergraph hg = MakeIscas85Like("c1355", 5);
+  const HierarchySpec spec = UniformHierarchy(hg.total_size(), 3, 2, 0.10,
+                                              std::vector<double>(3, 1.0));
+  obs::ResetAll();
+  obs::DrainEvents();
+  MultilevelParams params;
+  params.flow.iterations = 2;
+  params.flow.seed = 11;
+  params.coarsen_threshold = 64;
+  params.collect_report = true;
+  const MultilevelResult result = RunMultilevelFlow(hg, spec, params);
+  ASSERT_FALSE(result.report.empty());
+  const std::string_view det = obs::DeterministicSection(result.report);
+  ASSERT_FALSE(det.empty());
+  EXPECT_NE(det.find("\"algorithm\":\"multilevel_flow\""),
+            std::string_view::npos);
+  EXPECT_NE(det.find("\"cost\":"), std::string_view::npos);
+#if HTP_OBS_ENABLED
+  // The pipeline-wide journal keeps the coarse flow's records (the inner
+  // RunHtpFlow must not drain them) plus the per-level records.
+  EXPECT_NE(det.find("\"event\":\"driver.iteration\""),
+            std::string_view::npos);
+  if (result.coarsen_levels > 0)
+    EXPECT_NE(det.find("\"event\":\"multilevel.level\""),
+              std::string_view::npos);
+#endif
+}
+
+TEST(RunReportPipeline, ReportIsEmptyUnlessRequested) {
+  const Hypergraph hg = MakeIscas85Like("c1355", 3);
+  const HierarchySpec spec = UniformHierarchy(hg.total_size(), 3, 2, 0.10,
+                                              std::vector<double>(3, 1.0));
+  HtpFlowParams params;
+  params.iterations = 1;
+  const HtpFlowResult result = RunHtpFlow(hg, spec, params);
+  EXPECT_TRUE(result.report.empty());
+}
+
+}  // namespace
+}  // namespace htp
