@@ -198,6 +198,15 @@ def cmd_render(args):
             mean = h["sum"] / h["count"] if h["count"] else 0.0
             print(f"  {name}: count {h['count']}, sum {h['sum']},"
                   f" min {h['min']}, max {h['max']}, mean {mean:.1f}")
+            # Log2 buckets: index 0 holds value 0, index i >= 1 holds
+            # values in [2^(i-1), 2^i) — print the boundaries so the
+            # distribution is readable without knowing the encoding.
+            for index, count in h.get("buckets", []):
+                if index == 0:
+                    bounds = "[0]"
+                else:
+                    bounds = f"[{2 ** (index - 1)}, {2 ** index})"
+                print(f"    bucket {index} {bounds}: {count}")
 
     journal = det["journal"]
     print(f"journal: {len(journal)} records")

@@ -1,6 +1,7 @@
 #include "core/htp_flow.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 
 #include "core/mst_carver.hpp"
@@ -128,6 +129,13 @@ IterationOutcome RunIteration(const Hypergraph& hg, const HierarchySpec& spec,
   // full multi-level lengths on boundary nets and so misguides
   // lower-level carves; see MetricScope).
   Rng& metric_rng = streams.metric_rng;
+  // build_threads != 1 routes construction through the subtree task engine,
+  // where the carve lambda runs concurrently on pool workers: the
+  // local-metric seed must come from the calling task's private stream
+  // (`rng`), not the iteration-shared metric_rng, and the truncation flag
+  // becomes an atomic folded into `out` after the build returns.
+  const bool tasked = params.build_threads != 1;
+  std::atomic<bool> carve_truncated{false};
   const CarveFn carve = [&](const Hypergraph& sub,
                             std::span<const double> sub_metric, double lb,
                             double ub, Rng& rng) {
@@ -136,11 +144,12 @@ IterationOutcome RunIteration(const Hypergraph& hg, const HierarchySpec& spec,
         sub.total_size() > spec.capacity(0)) {
       FlowInjectionParams local =
           BudgetedInjection(params.injection, params.budget, cancel);
-      local.seed = metric_rng.next_u64();
+      local.seed = tasked ? rng.next_u64() : metric_rng.next_u64();
       local.threads = params.metric_threads;
       const FlowInjectionResult local_metric =
           ComputeSpreadingMetric(sub, spec, local);
-      if (local_metric.cancelled) out.truncated = true;
+      if (local_metric.cancelled)
+        carve_truncated.store(true, std::memory_order_relaxed);
       return BestOfCarves(sub, local_metric.metric, lb, ub, rng,
                           params.carve_attempts, params.carver, cancel);
     }
@@ -160,9 +169,14 @@ IterationOutcome RunIteration(const Hypergraph& hg, const HierarchySpec& spec,
     }
     obs::PhaseScope construct_span(t_construct, "construction", c);
     try {
-      TreePartition tp = BuildPartitionTopDown(
-          hg, spec, metric.metric, carve, streams.construct_rng,
-          must_finish ? CancellationToken{} : cancel);
+      const CancellationToken build_cancel =
+          must_finish ? CancellationToken{} : cancel;
+      TreePartition tp =
+          tasked ? BuildPartitionTasked(hg, spec, metric.metric, carve,
+                                        streams.construct_rng,
+                                        params.build_threads, build_cancel)
+                 : BuildPartitionTopDown(hg, spec, metric.metric, carve,
+                                         streams.construct_rng, build_cancel);
       const double cost = PartitionCost(tp, spec);
       if (out.stats.best_partition_cost < 0.0 ||
           cost < out.stats.best_partition_cost)
@@ -176,6 +190,7 @@ IterationOutcome RunIteration(const Hypergraph& hg, const HierarchySpec& spec,
       break;
     }
   }
+  if (carve_truncated.load(std::memory_order_relaxed)) out.truncated = true;
   out.stats.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
@@ -313,6 +328,11 @@ HtpFlowResult RunHtpFlow(const Hypergraph& hg, const HierarchySpec& spec,
     rb.MetaString("carver", params.carver == CarverKind::kMstSplit
                                 ? "mst_split"
                                 : "prim_prefix");
+    // The construction mode changes deterministic results (per-task RNG
+    // streams vs the serial stream), so it belongs in meta; the worker
+    // count does not, so it goes to the wall section below.
+    rb.MetaString("build_mode",
+                  params.build_threads == 1 ? "serial" : "tasked");
     rb.ResultNumber("cost", result.cost);
     rb.ResultBool("completed", result.completed);
     rb.ResultString("stop_reason", StopReasonName(result.stop_reason));
@@ -321,6 +341,8 @@ HtpFlowResult RunHtpFlow(const Hypergraph& hg, const HierarchySpec& spec,
     rb.WallNumber("threads", static_cast<double>(params.threads));
     rb.WallNumber("metric_threads",
                   static_cast<double>(params.metric_threads));
+    rb.WallNumber("build_threads",
+                  static_cast<double>(params.build_threads));
     result.report = rb.Render(obs::TakeSnapshot(), obs::DrainEvents());
   }
   return result;

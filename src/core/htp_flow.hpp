@@ -78,6 +78,20 @@ struct HtpFlowParams {
   /// are bit-identical for every combination (asserted by
   /// tests/core/htp_flow_parallel_test.cpp).
   std::size_t metric_threads = 1;
+  /// Worker threads for Algorithm 3's recursive carves *inside* each
+  /// construction (the disjoint-subtree task engine,
+  /// runtime/subtree_tasks.hpp). Unlike the other two knobs this is a
+  /// *mode* switch, not just a worker count: `1` (default) keeps the
+  /// legacy serial recursion, bit-identical to every release to date;
+  /// any other value (0 = all hardware threads) routes construction
+  /// through BuildPartitionTasked, whose results are bit-identical to
+  /// each other for every engine worker count — but not to the serial
+  /// mode, because per-task RNG streams replace the single stream the
+  /// serial recursion threads through depth-first order. Composes with
+  /// the other knobs via the nested-parallelism guard: inside a pool
+  /// worker (threads > 1) the task tree drains serially. See
+  /// docs/parallelism.md for the decision table.
+  std::size_t build_threads = 1;
   /// Anytime controls (docs/robustness.md): optional wall-clock deadline
   /// plus deterministic caps on injection rounds and outer iterations. The
   /// default (unlimited) budget reproduces the pre-anytime behaviour bit

@@ -1,0 +1,138 @@
+#include "partition/parallel_refine.hpp"
+
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "netlist/subhypergraph.hpp"
+#include "obs/obs.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace htp {
+
+namespace {
+
+obs::Timer t_parallel("fm.parallel_refine");
+obs::Counter c_parallel_runs("fm.parallel_runs");
+obs::Counter c_parallel_blocks("fm.parallel_blocks");
+obs::Counter c_parallel_block_moves("fm.parallel_block_moves");
+obs::Counter c_parallel_gain_milli("fm.parallel_gain_milli");
+
+/// Result slot of one root-child subtree, filled by its worker.
+struct BlockOutcome {
+  /// Moves that survived the block-local rollbacks, in sub-node id order:
+  /// (parent node, parent leaf to move it to).
+  std::vector<std::pair<NodeId, BlockId>> moves;
+  HtpFmStats stats;
+};
+
+// Refines the subtree under root child `b` in isolation: mirrors it into a
+// standalone TreePartition over the induced sub-hypergraph, runs the plain
+// refiner, and translates the surviving moves back to parent ids. Pure
+// function of (tp, spec, params, b) — safe to run concurrently with other
+// blocks because it only reads `tp`.
+BlockOutcome RefineOneBlock(const TreePartition& tp, const HierarchySpec& spec,
+                            const HtpFmParams& params, BlockId b,
+                            const std::vector<NodeId>& nodes) {
+  const Level sub_root = tp.level(b);
+  SubHypergraph sub = InducedSubHypergraph(tp.hypergraph(), nodes);
+
+  // Levels 0..L-1 of the parent spec, root at the block's own level. The
+  // sub-root's capacity/branch bounds are the parent's for that level, so
+  // any sub-partition validity implies validity of the committed moves; the
+  // sub-root weight is ignored by the cost (as every root weight is), which
+  // is exactly right — intra-block moves cannot change spans at or above
+  // the block's level.
+  const HierarchySpec sub_spec(std::vector<LevelSpec>(
+      spec.levels().begin(), spec.levels().begin() + sub_root + 1));
+
+  // Mirror the block's subtree. Parents always have smaller ids than their
+  // children (AddChild appends), so one ascending scan reaches every
+  // descendant after its parent; the id order also fixes the mirror's
+  // child order, keeping the construction schedule-independent.
+  TreePartition sub_tp(sub.hg, sub_root);
+  std::vector<BlockId> sub_of(tp.num_blocks(), kInvalidBlock);
+  std::vector<BlockId> to_parent{b};
+  sub_of[b] = TreePartition::kRoot;
+  for (BlockId q = b + 1; q < tp.num_blocks(); ++q) {
+    if (sub_of[tp.parent(q)] == kInvalidBlock) continue;
+    sub_of[q] = sub_tp.AddChild(sub_of[tp.parent(q)]);
+    to_parent.push_back(q);
+  }
+  std::vector<BlockId> initial_leaf(sub.hg.num_nodes());
+  for (NodeId i = 0; i < sub.hg.num_nodes(); ++i) {
+    initial_leaf[i] = sub_of[tp.leaf_of(sub.node_to_parent[i])];
+    sub_tp.AssignNode(i, initial_leaf[i]);
+  }
+
+  BlockOutcome out;
+  out.stats = RefineHtpFm(sub_tp, sub_spec, params);
+  for (NodeId i = 0; i < sub.hg.num_nodes(); ++i) {
+    const BlockId leaf = sub_tp.leaf_of(i);
+    if (leaf != initial_leaf[i])
+      out.moves.emplace_back(sub.node_to_parent[i], to_parent[leaf]);
+  }
+  return out;
+}
+
+}  // namespace
+
+HtpFmStats RefineHtpFmBlocks(TreePartition& tp, const HierarchySpec& spec,
+                             const HtpFmParams& params,
+                             std::size_t build_threads) {
+  const std::span<const BlockId> roots = tp.children(TreePartition::kRoot);
+  if (tp.root_level() < 2 || roots.size() < 2) {
+    // Degenerate shapes leave nothing to fan out: single root child (a
+    // chain) or a two-level tree whose "blocks" are the leaves themselves.
+    return RefineHtpFm(tp, spec, params);
+  }
+  obs::PhaseScope obs_span(t_parallel);
+  c_parallel_runs.Add();
+  c_parallel_blocks.Add(roots.size());
+
+  // Gather each block's nodes in node-id order (determinism: the induced
+  // subgraph numbering follows this order).
+  const Level block_level = tp.root_level() - 1;
+  std::vector<BlockId> slot_of(tp.num_blocks(), kInvalidBlock);
+  for (std::size_t s = 0; s < roots.size(); ++s) slot_of[roots[s]] = s;
+  std::vector<std::vector<NodeId>> block_nodes(roots.size());
+  for (NodeId v = 0; v < tp.hypergraph().num_nodes(); ++v)
+    block_nodes[slot_of[tp.block_at(v, block_level)]].push_back(v);
+
+  std::vector<BlockOutcome> outcomes(roots.size());
+  ParallelFor(build_threads, roots.size(), [&](std::size_t s) {
+    outcomes[s] = RefineOneBlock(tp, spec, params, roots[s], block_nodes[s]);
+  });
+
+  // Serial commit in block order. Every move keeps its node inside its
+  // root-child subtree, so block sizes at the fan-out level and above are
+  // unchanged and validity follows from the sub-partitions' validity.
+  HtpFmStats total;
+  total.initial_cost = PartitionCost(tp, spec);
+  double block_gain = 0.0;
+  std::size_t block_moves = 0;
+  for (const BlockOutcome& out : outcomes) {
+    for (const auto& [v, leaf] : out.moves) tp.MoveNode(v, leaf);
+    total.passes += out.stats.passes;
+    total.moves_kept += out.stats.moves_kept;
+    total.completed = total.completed && out.stats.completed;
+    block_gain += out.stats.initial_cost - out.stats.final_cost;
+    block_moves += out.moves.size();
+  }
+  c_parallel_block_moves.Add(block_moves);
+
+  // One global boundary-seeded pass catches the cross-block gains the
+  // block-local view cannot express (moving a node between root children).
+  HtpFmParams global = params;
+  global.boundary_only = true;
+  const HtpFmStats cleanup = RefineHtpFm(tp, spec, global);
+  total.final_cost = cleanup.final_cost;
+  total.passes += cleanup.passes;
+  total.moves_kept += cleanup.moves_kept;
+  total.completed = total.completed && cleanup.completed;
+  c_parallel_gain_milli.Add(static_cast<std::uint64_t>(
+      std::llround((total.initial_cost - total.final_cost) * 1000.0)));
+  return total;
+}
+
+}  // namespace htp

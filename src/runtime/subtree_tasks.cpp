@@ -1,0 +1,100 @@
+#include "runtime/subtree_tasks.hpp"
+
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <utility>
+
+#include "runtime/thread_pool.hpp"
+
+namespace htp {
+
+namespace detail {
+
+// Shared state of one Run() call. Lives on the caller's stack; valid
+// because Run() blocks until pending == 0 and the pool joins before the
+// frame unwinds.
+struct SubtreeEngine {
+  std::mutex mutex;
+  std::condition_variable drained;
+  std::size_t pending = 0;  // spawned but not yet finished tasks
+  bool have_error = false;
+  TaskPath error_path;  // lexicographically smallest failing path so far
+  std::exception_ptr error;
+  ThreadPool* pool = nullptr;  // null = serial drain on the calling thread
+  std::deque<std::function<void()>> serial;  // queue of the serial drain
+
+  // Executes one task body and retires it: records the error under the
+  // lowest-path rule, then wakes the waiter when the tree is drained.
+  void RunTask(TaskPath path, SubtreeTasks::TaskFn fn) {
+    SubtreeTasks::Context ctx(this, std::move(path));
+    std::exception_ptr thrown;
+    try {
+      fn(ctx);
+    } catch (...) {
+      thrown = std::current_exception();
+    }
+    std::lock_guard<std::mutex> lock(mutex);
+    if (thrown && (!have_error || ctx.path_ < error_path)) {
+      have_error = true;
+      error_path = ctx.path_;
+      error = thrown;
+    }
+    if (--pending == 0) drained.notify_one();
+  }
+
+  void Enqueue(TaskPath path, SubtreeTasks::TaskFn fn) {
+    auto task = [this, path = std::move(path), fn = std::move(fn)]() mutable {
+      RunTask(std::move(path), std::move(fn));
+    };
+    if (pool != nullptr) {
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        ++pending;
+      }
+      pool->Submit(std::move(task));
+    } else {
+      // Serial drain: everything runs on the calling thread, so pending and
+      // the queue are touched by one thread only.
+      ++pending;
+      serial.push_back(std::move(task));
+    }
+  }
+};
+
+}  // namespace detail
+
+std::size_t SubtreeTasks::Context::Spawn(TaskFn fn) {
+  const std::size_t index = next_child_++;
+  TaskPath child = path_;
+  child.push_back(static_cast<std::uint32_t>(index));
+  engine_->Enqueue(std::move(child), std::move(fn));
+  return index;
+}
+
+void SubtreeTasks::Run(std::size_t threads, TaskFn root) {
+  detail::SubtreeEngine engine;
+  const std::size_t workers = ResolveThreadCount(threads);
+  if (workers > 1 && !InParallelWorker()) {
+    ThreadPool pool(workers);
+    engine.pool = &pool;
+    engine.Enqueue(TaskPath{}, std::move(root));
+    {
+      std::unique_lock<std::mutex> lock(engine.mutex);
+      engine.drained.wait(lock, [&engine] { return engine.pending == 0; });
+    }
+    // The pool joins here; workers are past their last decrement, so no
+    // task can touch `engine` after the wait returned.
+  } else {
+    engine.Enqueue(TaskPath{}, std::move(root));
+    while (!engine.serial.empty()) {
+      auto task = std::move(engine.serial.front());
+      engine.serial.pop_front();
+      task();
+    }
+  }
+  if (engine.have_error) std::rethrow_exception(engine.error);
+}
+
+}  // namespace htp

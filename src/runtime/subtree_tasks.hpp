@@ -1,0 +1,86 @@
+// Deterministic disjoint-subtree task engine (docs/parallelism.md).
+//
+// Algorithm 3's recursion — and every per-block pass that rides on its
+// output — decomposes into tasks over *disjoint* subtrees: once a cut
+// commits, the children are fully independent subproblems (the same
+// decomposition VTR's PartitionTree exploits to route non-overlapping
+// regions concurrently). ParallelFor cannot express this shape: the task
+// count is unknown up front and tasks are discovered by other tasks.
+//
+// This engine runs a dynamically growing tree of tasks on the existing
+// ThreadPool while keeping every observable output schedule-independent:
+//
+//  * Task identity is the *path* in the spawn tree (root = [], its k-th
+//    spawn = [k], ...), fixed by the enumeration order inside each parent —
+//    never by queue position or completion order. Lexicographic path order
+//    is the order a serial depth-first execution reaches the tasks.
+//  * Tasks must write only into slots their parent allocated before the
+//    spawn (the parent runs single-threaded, so no allocation races), and
+//    any side effect that depends on global ordering — committing blocks,
+//    journaling — must happen in a serial walk *after* Run() returns, in
+//    path order. The engine enforces none of this; it is the contract that
+//    makes results bit-identical for every worker count.
+//  * Every spawned task runs to completion even when another throws; if any
+//    threw, Run() rethrows the exception of the lexicographically smallest
+//    failing path, mirroring ParallelFor's lowest-index rule.
+//  * Nested use degrades gracefully: Run() called from inside a pool worker
+//    (e.g. a carve task engine inside a parallel FLOW iteration) drains the
+//    task tree serially on the calling thread instead of oversubscribing —
+//    the same InParallelWorker() guard the metric scan applies.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace htp {
+
+namespace detail {
+struct SubtreeEngine;
+}
+
+/// Position of a task in the spawn tree; lexicographic order is the serial
+/// depth-first execution order.
+using TaskPath = std::vector<std::uint32_t>;
+
+/// The disjoint-subtree task engine. Stateless facade: each Run() call owns
+/// its task tree, workers, and error slot.
+class SubtreeTasks {
+ public:
+  class Context;
+  using TaskFn = std::function<void(Context&)>;
+
+  /// Handed to every running task; the only way to add work to the tree.
+  class Context {
+   public:
+    /// This task's path in the spawn tree.
+    const TaskPath& path() const { return path_; }
+
+    /// Enqueues a child task. The child's path is this task's path plus the
+    /// spawn index (0, 1, ... in call order), so identity is fixed by the
+    /// parent's enumeration order alone. Allocate the child's output slot
+    /// before calling. Returns the spawn index.
+    std::size_t Spawn(TaskFn fn);
+
+   private:
+    friend struct detail::SubtreeEngine;
+    Context(detail::SubtreeEngine* engine, TaskPath path)
+        : engine_(engine), path_(std::move(path)) {}
+
+    detail::SubtreeEngine* engine_;
+    TaskPath path_;
+    std::uint32_t next_child_ = 0;
+  };
+
+  /// Runs `root` and every task it transitively spawns on
+  /// ResolveThreadCount(threads) workers, blocking until the tree drains.
+  /// A resolved count <= 1 — or a calling thread that is itself a pool
+  /// worker (the nested-parallelism guard) — drains the tree serially on
+  /// the calling thread with no pool; results are identical either way
+  /// when tasks honor the slot contract above. If tasks threw, the
+  /// exception of the lexicographically smallest failing path is rethrown.
+  static void Run(std::size_t threads, TaskFn root);
+};
+
+}  // namespace htp

@@ -30,6 +30,7 @@
 #include "obs/sinks.hpp"
 #include "partition/gfm.hpp"
 #include "partition/htp_fm.hpp"
+#include "partition/parallel_refine.hpp"
 #include "partition/rfm.hpp"
 #include "runtime/thread_pool.hpp"
 
@@ -58,6 +59,17 @@ void Usage(const char* argv0) {
                "(default 1;\n"
                "                     0 = all); results are identical for "
                "every M\n"
+               "  --build-threads B  construction-parallelism mode "
+               "(default 1 =\n"
+               "                     legacy serial recursion); any other "
+               "value\n"
+               "                     (0 = all) fans recursive carves and "
+               "--refine\n"
+               "                     out per subtree — identical for every "
+               "such B,\n"
+               "                     but a different deterministic universe "
+               "than\n"
+               "                     B=1 (see docs/parallelism.md)\n"
                "  --time-budget SEC  wall-clock budget in seconds; when it "
                "fires,\n"
                "                     the best partition found so far is "
@@ -131,6 +143,7 @@ int main(int argc, char** argv) {
   std::vector<double> weights;
   Level height = 4;
   std::size_t branching = 2, iterations = 4, threads = 0, metric_threads = 1;
+  std::size_t build_threads = 1;
   double slack = 0.10;
   bool refine = false, stats = false, multilevel = false;
   std::size_t coarsen_threshold = 800;
@@ -161,6 +174,7 @@ int main(int argc, char** argv) {
       else if (arg("--iterations")) iterations = std::stoul(argv[++i]);
       else if (arg("--threads")) threads = std::stoul(argv[++i]);
       else if (arg("--metric-threads")) metric_threads = std::stoul(argv[++i]);
+      else if (arg("--build-threads")) build_threads = std::stoul(argv[++i]);
       else if (arg("--time-budget"))
         budget.time_budget_seconds = std::stod(argv[++i]);
       else if (arg("--max-rounds")) budget.max_rounds = std::stoul(argv[++i]);
@@ -238,6 +252,7 @@ int main(int argc, char** argv) {
       params.collect_report = !report_file.empty();
       params.threads = threads;
       params.metric_threads = metric_threads;
+      params.build_threads = build_threads;
       params.budget.max_rounds = budget.max_rounds;
       params.cancel = run_token;
       params.injection.oracle_sample = oracle_sample;
@@ -247,9 +262,11 @@ int main(int argc, char** argv) {
       // fact; print the resolved worker counts up front.
       std::printf(
           "flow: %zu iterations on %zu threads (--threads %zu), "
-          "%zu scan threads (--metric-threads %zu)\n",
+          "%zu scan threads (--metric-threads %zu), "
+          "build %s (--build-threads %zu)\n",
           iterations, ResolveThreadCount(threads), threads,
-          ResolveThreadCount(metric_threads), metric_threads);
+          ResolveThreadCount(metric_threads), metric_threads,
+          build_threads == 1 ? "serial" : "tasked", build_threads);
       if (multilevel) {
         MultilevelParams ml;
         ml.flow = params;
@@ -290,6 +307,7 @@ int main(int argc, char** argv) {
       RfmParams rfm_params;
       rfm_params.seed = seed;
       rfm_params.cancel = run_token;
+      rfm_params.build_threads = build_threads;
       tp = RunRfm(hg, spec, rfm_params);
     } else if (algo == "gfm") {
       GfmParams gfm_params;
@@ -305,7 +323,10 @@ int main(int argc, char** argv) {
       HtpFmParams params;
       params.seed = seed;
       params.cancel = run_token;
-      const HtpFmStats stats = RefineHtpFm(tp, spec, params);
+      const HtpFmStats stats =
+          build_threads != 1
+              ? RefineHtpFmBlocks(tp, spec, params, build_threads)
+              : RefineHtpFm(tp, spec, params);
       std::printf("after FM refinement: %.0f (%zu moves kept, %zu passes%s)\n",
                   stats.final_cost, stats.moves_kept, stats.passes,
                   stats.completed ? "" : ", stopped by budget");
@@ -344,6 +365,7 @@ int main(int argc, char** argv) {
         rb.MetaNumber("seed", static_cast<double>(seed));
         rb.ResultNumber("cost", PartitionCost(tp, spec));
         rb.WallNumber("threads", static_cast<double>(threads));
+        rb.WallNumber("build_threads", static_cast<double>(build_threads));
         run_report = rb.Render(obs::TakeSnapshot(), obs::DrainEvents());
       }
       std::ofstream report(report_file);

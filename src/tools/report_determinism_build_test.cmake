@@ -1,0 +1,39 @@
+# The report-determinism gate for the tasked construction mode: with build
+# parallelism on (--build-threads != 1), two runs differing in EVERY thread
+# knob — outer iterations, metric scan, and engine worker count — must
+# produce RunReports whose deterministic sections diff clean under
+# scripts/obs_report.py. This is the engine's worker-count invariance
+# contract (docs/parallelism.md) exercised through the real CLI artifacts,
+# --refine included so the per-block parallel refiner is on the path too.
+#
+#   cmake -DCLI=... -DPYTHON=... -DSCRIPT=... -DWORK_DIR=... -P this_file
+file(MAKE_DIRECTORY ${WORK_DIR})
+set(REPORT_A ${WORK_DIR}/build2.report.json)
+set(REPORT_B ${WORK_DIR}/build8.report.json)
+
+execute_process(
+  COMMAND ${CLI} --circuit c1355 --height 3 --iterations 2
+          --threads 1 --metric-threads 1 --build-threads 2 --refine
+          --report ${REPORT_A}
+  RESULT_VARIABLE a_status)
+if(NOT a_status EQUAL 0)
+  message(FATAL_ERROR "htp_cli run with --build-threads 2 failed")
+endif()
+
+execute_process(
+  COMMAND ${CLI} --circuit c1355 --height 3 --iterations 2
+          --threads 8 --metric-threads 8 --build-threads 8 --refine
+          --report ${REPORT_B}
+  RESULT_VARIABLE b_status)
+if(NOT b_status EQUAL 0)
+  message(FATAL_ERROR "htp_cli run with --build-threads 8 failed")
+endif()
+
+execute_process(
+  COMMAND ${PYTHON} ${SCRIPT} diff ${REPORT_A} ${REPORT_B}
+  RESULT_VARIABLE diff_status)
+if(NOT diff_status EQUAL 0)
+  message(FATAL_ERROR
+          "deterministic report sections diverged across engine worker "
+          "counts (build parallelism on)")
+endif()

@@ -4,6 +4,7 @@
 // both carvers.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <tuple>
 
 #include "core/htp_flow.hpp"
@@ -196,6 +197,61 @@ TEST(HtpFlowParallel, MetricThreadsCrossProductIsBitIdentical) {
     SCOPED_TRACE(testing::Message() << "threads=" << threads
                                     << " metric_threads=" << metric_threads);
     const Run other = run(threads, metric_threads);
+    ExpectIdenticalResults(reference.result, other.result, hg, "cross");
+    ASSERT_EQ(reference.counters.size(), other.counters.size());
+    for (std::size_t i = 0; i < reference.counters.size(); ++i) {
+      EXPECT_EQ(reference.counters[i].name, other.counters[i].name);
+      EXPECT_EQ(reference.counters[i].value, other.counters[i].value)
+          << "counter " << reference.counters[i].name;
+    }
+  }
+}
+
+TEST(HtpFlowParallel, BuildThreadsCrossProductIsBitIdentical) {
+  // Third knob: `build_threads != 1` switches construction to the subtree
+  // task engine. Engine mode is its own deterministic universe — the
+  // reference is an engine run (threads=1, metric_threads=1,
+  // build_threads=2), and EVERY {threads} x {metric_threads} combination
+  // with build parallelism on must reproduce it bit for bit (results and
+  // counter totals), for any engine worker count (2, 8, 0). The serial
+  // mode (build_threads=1) is intentionally a different universe and is
+  // pinned by the other tests in this file.
+  Hypergraph hg = MakeIscas85Like("c1355", 1997);
+  const HierarchySpec spec = FullBinaryHierarchy(hg.total_size());
+  HtpFlowParams params;
+  params.iterations = 4;
+  params.seed = 1997;
+
+  struct Run {
+    HtpFlowResult result;
+    std::vector<obs::CounterValue> counters;
+  };
+  auto run = [&](std::size_t threads, std::size_t metric_threads,
+                 std::size_t build_threads) {
+    obs::ResetAll();
+    params.threads = threads;
+    params.metric_threads = metric_threads;
+    params.build_threads = build_threads;
+    Run r{RunHtpFlow(hg, spec, params), {}};
+    r.counters = obs::TakeSnapshot().counters;
+    return r;
+  };
+
+  const Run reference = run(1, 1, 2);
+  RequireValidPartition(reference.result.partition, spec);
+
+  // The full {1,2,8} x {1,2,8} cross-product at build_threads=2, plus
+  // engine worker-count samples (8 and 0 = all hardware) at mixed outer
+  // knobs.
+  const std::vector<std::array<std::size_t, 3>> combos = {
+      {1, 2, 2}, {1, 8, 2}, {2, 1, 2}, {2, 2, 2}, {2, 8, 2},
+      {8, 1, 2}, {8, 2, 2}, {8, 8, 2}, {1, 1, 8}, {2, 2, 8},
+      {8, 8, 8}, {1, 1, 0}, {2, 2, 0}};
+  for (const auto& [threads, metric_threads, build_threads] : combos) {
+    SCOPED_TRACE(testing::Message()
+                 << "threads=" << threads << " metric_threads="
+                 << metric_threads << " build_threads=" << build_threads);
+    const Run other = run(threads, metric_threads, build_threads);
     ExpectIdenticalResults(reference.result, other.result, hg, "cross");
     ASSERT_EQ(reference.counters.size(), other.counters.size());
     for (std::size_t i = 0; i < reference.counters.size(); ++i) {

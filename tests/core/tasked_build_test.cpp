@@ -1,0 +1,114 @@
+// BuildPartitionTasked: the engine-mode Algorithm 3. Asserts the contract
+// the mode knob rests on — bit-identical partitions, costs, and build
+// counters for EVERY engine worker count (serial drain included) — plus
+// validity, leaf placement, and cancellation parity with the serial
+// builder.
+#include "core/build_partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/cost.hpp"
+#include "core/htp_flow.hpp"
+#include "netlist/generators.hpp"
+#include "obs/obs.hpp"
+#include "partition/rfm.hpp"
+#include "test_util.hpp"
+
+namespace htp {
+namespace {
+
+std::vector<BlockId> LeafVector(const TreePartition& tp) {
+  std::vector<BlockId> leaves(tp.hypergraph().num_nodes());
+  for (NodeId v = 0; v < tp.hypergraph().num_nodes(); ++v)
+    leaves[v] = tp.leaf_of(v);
+  return leaves;
+}
+
+TEST(TaskedBuild, BitIdenticalForEveryWorkerCount) {
+  const Hypergraph hg = MakeIscas85Like("c1355", 11);
+  const HierarchySpec spec = FullBinaryHierarchy(hg.total_size());
+  const SpreadingMetric metric(hg.num_nets(), 1.0);
+
+  // Reference: engine with 2 workers. Counters must match too — they are
+  // part of the schedule-independence contract.
+  obs::ResetAll();
+  Rng ref_rng(42);
+  const TreePartition reference = BuildPartitionTasked(
+      hg, spec, metric, FmCarver(), ref_rng, /*build_threads=*/2);
+  RequireValidPartition(reference, spec);
+  const std::vector<BlockId> ref_leaves = LeafVector(reference);
+  const double ref_cost = PartitionCost(reference, spec);
+  std::map<std::string, std::uint64_t> ref_counters;
+  for (const obs::CounterValue& c : obs::TakeSnapshot().counters)
+    ref_counters[c.name] = c.value;
+
+  for (const std::size_t workers :
+       {std::size_t{1}, std::size_t{8}, std::size_t{0}}) {
+    obs::ResetAll();
+    Rng rng(42);
+    const TreePartition tp =
+        BuildPartitionTasked(hg, spec, metric, FmCarver(), rng, workers);
+    RequireValidPartition(tp, spec);
+    EXPECT_EQ(LeafVector(tp), ref_leaves) << "build_threads=" << workers;
+    EXPECT_EQ(PartitionCost(tp, spec), ref_cost)
+        << "build_threads=" << workers;
+    std::map<std::string, std::uint64_t> counters;
+    for (const obs::CounterValue& c : obs::TakeSnapshot().counters)
+      counters[c.name] = c.value;
+    EXPECT_EQ(counters, ref_counters) << "build_threads=" << workers;
+  }
+}
+
+TEST(TaskedBuild, MetricCarverWorkerCountInvariance) {
+  const Hypergraph hg = testutil::RandomConnectedHypergraph(48, 30, 4, 5);
+  const HierarchySpec spec = FullBinaryHierarchy(hg.total_size(), 3);
+  SpreadingMetric metric(hg.num_nets());
+  for (NetId e = 0; e < hg.num_nets(); ++e)
+    metric[e] = 0.25 * static_cast<double>(e % 7);
+
+  Rng ref_rng(5);
+  const TreePartition reference = BuildPartitionTasked(
+      hg, spec, metric, MetricCarver(), ref_rng, /*build_threads=*/4);
+  RequireValidPartition(reference, spec);
+  for (BlockId leaf : reference.Leaves()) EXPECT_EQ(reference.level(leaf), 0u);
+
+  Rng rng(5);
+  const TreePartition again =
+      BuildPartitionTasked(hg, spec, metric, MetricCarver(), rng, 1);
+  EXPECT_EQ(LeafVector(again), LeafVector(reference));
+}
+
+TEST(TaskedBuild, PreFiredTokenThrowsCancelledError) {
+  const Hypergraph hg = testutil::RandomConnectedHypergraph(32, 20, 3, 9);
+  const HierarchySpec spec = FullBinaryHierarchy(hg.total_size(), 3);
+  const SpreadingMetric zero(hg.num_nets(), 0.0);
+  CancellationToken token = CancellationToken::Manual();
+  token.Cancel();
+  Rng rng(1);
+  EXPECT_THROW(BuildPartitionTasked(hg, spec, zero, MetricCarver(), rng, 4,
+                                    token),
+               CancelledError);
+}
+
+TEST(TaskedBuild, RfmDispatchesThroughEngine) {
+  // RunRfm with build_threads != 1 must stay worker-count invariant and
+  // valid; it need not (and does not) match the serial-mode RFM result.
+  const Hypergraph hg = MakeIscas85Like("c1355", 3);
+  const HierarchySpec spec = FullBinaryHierarchy(hg.total_size());
+  RfmParams params;
+  params.seed = 7;
+  params.build_threads = 2;
+  const TreePartition reference = RunRfm(hg, spec, params);
+  RequireValidPartition(reference, spec);
+  params.build_threads = 8;
+  const TreePartition other = RunRfm(hg, spec, params);
+  EXPECT_EQ(LeafVector(other), LeafVector(reference));
+  EXPECT_EQ(PartitionCost(other, spec), PartitionCost(reference, spec));
+}
+
+}  // namespace
+}  // namespace htp

@@ -1,0 +1,154 @@
+// Unit coverage of the disjoint-subtree task engine: every spawned task
+// runs exactly once, slot trees are identical for every worker count,
+// exception propagation picks the lexicographically smallest failing path,
+// and nested use inside a pool worker degrades to a serial drain.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/subtree_tasks.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace htp {
+namespace {
+
+// A slot tree obeying the engine's contract: parents allocate children
+// before spawning. Each slot records the path the filling task saw.
+struct Slot {
+  TaskPath path;
+  std::vector<std::unique_ptr<Slot>> children;
+};
+
+// Spawns a fixed fanout tree of the given depth and records every path.
+void FillTree(SubtreeTasks::Context& ctx, Slot& slot, std::size_t depth,
+              std::size_t fanout, std::atomic<std::size_t>& runs) {
+  runs.fetch_add(1, std::memory_order_relaxed);
+  slot.path = ctx.path();
+  if (depth == 0) return;
+  for (std::size_t k = 0; k < fanout; ++k) {
+    slot.children.push_back(std::make_unique<Slot>());
+    Slot* child = slot.children.back().get();
+    ctx.Spawn([child, depth, fanout, &runs](SubtreeTasks::Context& cctx) {
+      FillTree(cctx, *child, depth - 1, fanout, runs);
+    });
+  }
+}
+
+void ExpectSameTree(const Slot& a, const Slot& b) {
+  EXPECT_EQ(a.path, b.path);
+  ASSERT_EQ(a.children.size(), b.children.size());
+  for (std::size_t i = 0; i < a.children.size(); ++i)
+    ExpectSameTree(*a.children[i], *b.children[i]);
+}
+
+TEST(SubtreeTasks, RunsEveryTaskExactlyOnce) {
+  std::atomic<std::size_t> runs{0};
+  Slot root;
+  SubtreeTasks::Run(4, [&](SubtreeTasks::Context& ctx) {
+    FillTree(ctx, root, 3, 2, runs);
+  });
+  // Full binary spawn tree of depth 3: 1 + 2 + 4 + 8 tasks.
+  EXPECT_EQ(runs.load(), 15u);
+  EXPECT_EQ(root.path, TaskPath{});
+  ASSERT_EQ(root.children.size(), 2u);
+  EXPECT_EQ(root.children[1]->path, (TaskPath{1}));
+  EXPECT_EQ(root.children[1]->children[0]->path, (TaskPath{1, 0}));
+}
+
+TEST(SubtreeTasks, SlotTreeIsIdenticalForEveryWorkerCount) {
+  std::vector<std::unique_ptr<Slot>> trees;
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{8}, std::size_t{0}}) {
+    std::atomic<std::size_t> runs{0};
+    trees.push_back(std::make_unique<Slot>());
+    Slot* root = trees.back().get();
+    SubtreeTasks::Run(workers, [&, root](SubtreeTasks::Context& ctx) {
+      FillTree(ctx, *root, 4, 3, runs);
+    });
+    EXPECT_EQ(runs.load(), 121u);  // 1 + 3 + 9 + 27 + 81
+  }
+  for (std::size_t i = 1; i < trees.size(); ++i)
+    ExpectSameTree(*trees[0], *trees[i]);
+}
+
+TEST(SubtreeTasks, RethrowsLexicographicallySmallestFailingPath) {
+  // Children 1..3 of the root throw immediately; child 0 succeeds but its
+  // grandchild [0, 0] throws. [0, 0] < [1] < [2] < [3] lexicographically,
+  // so the grandchild's exception must win regardless of schedule.
+  for (const std::size_t workers :
+       {std::size_t{1}, std::size_t{4}, std::size_t{8}}) {
+    std::atomic<std::size_t> runs{0};
+    auto root_fn = [&](SubtreeTasks::Context& ctx) {
+      ctx.Spawn([&runs](SubtreeTasks::Context& cctx) {
+        cctx.Spawn([&runs](SubtreeTasks::Context&) {
+          runs.fetch_add(1, std::memory_order_relaxed);
+          throw std::runtime_error("path [0,0]");
+        });
+      });
+      for (int k = 1; k <= 3; ++k) {
+        ctx.Spawn([k, &runs](SubtreeTasks::Context&) {
+          runs.fetch_add(1, std::memory_order_relaxed);
+          throw std::runtime_error("path [" + std::to_string(k) + "]");
+        });
+      }
+    };
+    try {
+      SubtreeTasks::Run(workers, root_fn);
+      FAIL() << "expected the engine to rethrow";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "path [0,0]") << "workers=" << workers;
+    }
+    // Every task ran to completion even though siblings threw.
+    EXPECT_EQ(runs.load(), 4u);
+  }
+}
+
+TEST(SubtreeTasks, NestedRunInsidePoolWorkerDrainsSerially) {
+  // An engine started from inside a ParallelFor worker must not stack a
+  // second pool (the nested-parallelism guard): the whole inner task tree
+  // drains on the calling thread.
+  ThreadPool pool(3);
+  std::vector<int> inner_runs(3, 0);
+  std::vector<char> single_threaded(3, 0);
+  ParallelFor(pool, 3, [&](std::size_t i) {
+    const std::thread::id outer = std::this_thread::get_id();
+    std::atomic<bool> off_thread{false};
+    Slot root;
+    std::atomic<std::size_t> runs{0};
+    SubtreeTasks::Run(8, [&](SubtreeTasks::Context& ctx) {
+      if (std::this_thread::get_id() != outer) off_thread = true;
+      FillTree(ctx, root, 2, 2, runs);
+    });
+    inner_runs[i] = static_cast<int>(runs.load());
+    single_threaded[i] = off_thread ? 0 : 1;
+  });
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(inner_runs[i], 7);  // 1 + 2 + 4, all ran
+    EXPECT_EQ(single_threaded[i], 1) << "inner task escaped to another thread";
+  }
+}
+
+TEST(SubtreeTasks, DeepSpawnChain) {
+  // A degenerate chain (each task spawns exactly one child) exercises the
+  // drain condition when at most one task is ever runnable.
+  constexpr std::size_t kDepth = 2000;
+  std::atomic<std::size_t> runs{0};
+  std::function<void(SubtreeTasks::Context&, std::size_t)> chain =
+      [&](SubtreeTasks::Context& ctx, std::size_t remaining) {
+        runs.fetch_add(1, std::memory_order_relaxed);
+        if (remaining == 0) return;
+        ctx.Spawn([&chain, remaining](SubtreeTasks::Context& cctx) {
+          chain(cctx, remaining - 1);
+        });
+      };
+  SubtreeTasks::Run(4, [&](SubtreeTasks::Context& ctx) { chain(ctx, kDepth); });
+  EXPECT_EQ(runs.load(), kDepth + 1);
+}
+
+}  // namespace
+}  // namespace htp
