@@ -95,6 +95,16 @@ def validate_report(doc, errors):
           f"unknown schema_version {version!r} (known: {sorted(KNOWN_VERSIONS)})")
     check(isinstance(doc.get("tool"), str), errors, "tool must be a string")
 
+    # Strict top level: an unknown section is a producer bug (or a report
+    # from a future schema_version this validator does not know), never
+    # something to wave through silently.
+    known_sections = {"schema", "schema_version", "tool", "deterministic",
+                      "wall"}
+    for key in doc:
+        check(key in known_sections, errors,
+              f"unknown top-level section {key!r} "
+              f"(known: {sorted(known_sections)})")
+
     det = doc.get("deterministic")
     check(isinstance(det, dict), errors, "deterministic must be an object")
     if isinstance(det, dict):

@@ -102,7 +102,7 @@ FlowInjectionResult ComputeSpreadingMetric(const Hypergraph& hg,
   // candidates the scanner looked at past the hit are re-scanned next batch
   // against the updated metric, so the sequence of injections, the RNG draw
   // order, and the surviving worklist are bit-for-bit the old serial sweep.
-  ViolationScanner scanner(hg, spec, params.threads);
+  ViolationScanner scanner(hg, spec, params.threads, params.csr);
 
   while (!worklist.empty() && result.rounds < params.max_rounds) {
     // Safepoint: between rounds the metric is fully re-penalized and the

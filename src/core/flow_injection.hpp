@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
 #include "core/spreading_metric.hpp"
 #include "runtime/budget.hpp"
@@ -66,6 +67,14 @@ struct FlowInjectionParams {
   /// necessarily feasible for family (5)). Inert by default: unbudgeted
   /// runs are bit-identical to the pre-anytime code path.
   CancellationToken cancel;
+  /// Optional pre-lowered CSR adjacency of the input hypergraph (the
+  /// metric-independent star expansion ViolationScanner otherwise builds
+  /// per computation). A caching layer (src/server) passes the shared view
+  /// here so repeat requests skip the lowering; null (the default) keeps
+  /// the private per-computation build. Never affects results — the view
+  /// is a pure function of the hypergraph. Ignored by
+  /// ComputePairPathSpreadingMetric, which stays on the serial oracle.
+  std::shared_ptr<const CsrView> csr;
 };
 
 /// Outcome of Algorithm 2.

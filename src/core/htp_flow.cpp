@@ -114,7 +114,17 @@ IterationOutcome RunIteration(const Hypergraph& hg, const HierarchySpec& spec,
       BudgetedInjection(params.injection, params.budget, cancel);
   injection.seed = streams.injection_seed;
   injection.threads = params.metric_threads;
-  const FlowInjectionResult metric = ComputeSpreadingMetric(hg, spec, injection);
+  // All metric computations route through the optional provider so a
+  // caching layer can intercept both this global metric and the
+  // per-subproblem ones below. Must be thread-safe: the carve lambda calls
+  // it from pool workers under build_threads != 1.
+  const auto compute_metric = [&params](const Hypergraph& g,
+                                        const HierarchySpec& s,
+                                        const FlowInjectionParams& p) {
+    return params.metric_compute ? params.metric_compute(g, s, p)
+                                 : ComputeSpreadingMetric(g, s, p);
+  };
+  const FlowInjectionResult metric = compute_metric(hg, spec, injection);
 
   IterationOutcome out;
   out.stats.metric_cost = metric.metric_cost;
@@ -146,8 +156,7 @@ IterationOutcome RunIteration(const Hypergraph& hg, const HierarchySpec& spec,
           BudgetedInjection(params.injection, params.budget, cancel);
       local.seed = tasked ? rng.next_u64() : metric_rng.next_u64();
       local.threads = params.metric_threads;
-      const FlowInjectionResult local_metric =
-          ComputeSpreadingMetric(sub, spec, local);
+      const FlowInjectionResult local_metric = compute_metric(sub, spec, local);
       if (local_metric.cancelled)
         carve_truncated.store(true, std::memory_order_relaxed);
       return BestOfCarves(sub, local_metric.metric, lb, ub, rng,

@@ -12,6 +12,7 @@
 // bench/ablation_multipart.
 #pragma once
 
+#include <functional>
 #include <optional>
 #include <string>
 
@@ -112,6 +113,19 @@ struct HtpFlowParams {
   /// Counter/timer totals are snapshotted, not reset. With obs compiled
   /// out the report still renders; its telemetry sections are just empty.
   bool collect_report = false;
+  /// Optional metric provider. When set, every spreading-metric
+  /// computation FLOW performs — the global per-iteration metric *and* the
+  /// per-subproblem metrics of MetricScope::kPerSubproblem — goes through
+  /// this function instead of calling ComputeSpreadingMetric directly. The
+  /// artifact cache (src/server/cache.hpp) hooks in here to serve
+  /// converged metrics from memory on repeat requests. The provider must
+  /// be thread-safe (called concurrently from pool workers when threads or
+  /// build_threads exceed 1) and must return exactly what
+  /// ComputeSpreadingMetric(hg, spec, params) would — the determinism
+  /// contract extends through it. Null (the default) is the direct call.
+  std::function<FlowInjectionResult(
+      const Hypergraph&, const HierarchySpec&, const FlowInjectionParams&)>
+      metric_compute;
 };
 
 /// Statistics of one Algorithm-1 iteration.

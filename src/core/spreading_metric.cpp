@@ -104,8 +104,20 @@ struct ViolationScanner::Worker {
 
 ViolationScanner::ViolationScanner(const Hypergraph& hg,
                                    const HierarchySpec& spec,
-                                   std::size_t threads)
-    : hg_(hg), spec_(spec), csr_(hg), g_cap_(spec.g(hg.total_size())) {
+                                   std::size_t threads,
+                                   std::shared_ptr<const CsrView> shared_csr)
+    : hg_(hg),
+      spec_(spec),
+      csr_(std::move(shared_csr)),
+      g_cap_(spec.g(hg.total_size())) {
+  if (!csr_) {
+    csr_ = std::make_shared<const CsrView>(hg);
+  } else {
+    // A mismatched view would silently scan the wrong topology; the check
+    // is cheap and catches stale cache entries at the boundary.
+    HTP_CHECK(csr_->num_nodes() == hg.num_nodes());
+    HTP_CHECK(csr_->num_nets() == hg.num_nets());
+  }
   workers_ = ResolveThreadCount(threads);
   // Nested-parallelism guard: inside a parallel FLOW iteration each pool
   // worker gets a serial scanner instead of a pool-within-a-pool.
@@ -146,7 +158,7 @@ std::optional<ViolationScanner::ScanHit> ViolationScanner::FindFirstViolation(
       slot.stats = DijkstraStats{};
       bool cancelled = false;
       worker.workspace.Grow(
-          csr_, candidates[i], metric,
+          *csr_, candidates[i], metric,
           [&](const GrowState& state) {
             if (first_violation.load(std::memory_order_relaxed) < i) {
               cancelled = true;

@@ -101,8 +101,15 @@ class ViolationScanner {
  public:
   /// `threads`: scan workers (1 = serial, 0 = all hardware threads). The
   /// pool (if any) is spun up once here and reused across every batch.
+  /// `shared_csr` (optional) supplies a pre-lowered CsrView of `hg` —
+  /// metric-independent and immutable, so a caching layer (src/server)
+  /// can amortize the lowering across metric computations. Null (the
+  /// default) lowers a private view, exactly the pre-sharing behaviour;
+  /// results are identical either way because the view is a pure function
+  /// of the hypergraph.
   ViolationScanner(const Hypergraph& hg, const HierarchySpec& spec,
-                   std::size_t threads);
+                   std::size_t threads,
+                   std::shared_ptr<const CsrView> shared_csr = nullptr);
   ~ViolationScanner();
   ViolationScanner(const ViolationScanner&) = delete;
   ViolationScanner& operator=(const ViolationScanner&) = delete;
@@ -138,7 +145,9 @@ class ViolationScanner {
 
   const Hypergraph& hg_;
   const HierarchySpec& spec_;
-  CsrView csr_;        ///< shared read-only adjacency for all workers
+  /// Shared read-only adjacency for all workers; owned here when built
+  /// privately, co-owned with an artifact cache when passed in.
+  std::shared_ptr<const CsrView> csr_;
   double g_cap_ = 0.0; ///< g(s(V)): upper bound on every rhs of family (5)
   std::size_t workers_ = 1;
   std::unique_ptr<ThreadPool> pool_;

@@ -1,0 +1,256 @@
+#include "server/session.hpp"
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "core/cost.hpp"
+#include "core/tree_partition.hpp"
+#include "netlist/bench_parser.hpp"
+#include "netlist/generators.hpp"
+#include "obs/report.hpp"
+#include "partition/gfm.hpp"
+#include "partition/parallel_refine.hpp"
+#include "partition/rfm.hpp"
+#include "server/artifact_key.hpp"
+
+namespace htp::serve {
+
+namespace {
+
+// Key of the netlist *source* (what the request asked for), as opposed to
+// the structural hash of the parsed result. A built-in circuit is keyed by
+// (name, seed) because MakeIscas85Like instantiates from the run seed;
+// .bench text is keyed by its full content.
+std::uint64_t SourceKey(const SessionRequest& request) {
+  std::uint64_t h = HashBytes(kFnvOffset, "htp-netlist-source-v1");
+  if (!request.bench_text.empty()) {
+    h = HashBytes(h, "bench");
+    h = HashBytes(h, request.bench_text);
+    return h;
+  }
+  h = HashBytes(h, "circuit");
+  h = HashBytes(h, request.circuit);
+  return CombineHashes(std::array<std::uint64_t, 2>{h, request.seed});
+}
+
+std::string ReadBenchFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("cannot open bench file: " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return std::move(text).str();
+}
+
+NetlistArtifact BuildNetlist(const SessionRequest& request) {
+  Hypergraph hg = request.bench_text.empty()
+                      ? MakeIscas85Like(request.circuit, request.seed)
+                      : ParseBench(request.bench_text).hg;
+  auto shared = std::make_shared<const Hypergraph>(std::move(hg));
+  const std::uint64_t hash = HashNetlist(*shared);
+  return NetlistArtifact{std::move(shared), hash};
+}
+
+// Per-request tallies the cache-aware metric provider accumulates from
+// pool workers; folded into SessionCacheOutcome after the run joins them.
+struct ProviderStats {
+  std::atomic<std::size_t> csr_hits{0};
+  std::atomic<std::size_t> csr_misses{0};
+  std::atomic<std::size_t> metric_hits{0};
+  std::atomic<std::size_t> metric_misses{0};
+};
+
+}  // namespace
+
+SessionResult RunSession(const SessionRequest& request, ArtifactCache* cache) {
+  const auto start = std::chrono::steady_clock::now();
+  SessionResult result;
+
+  // --- Netlist: provided > cache > direct build. A file path is read
+  // into text first so every cached key is content-derived. ---
+  SessionRequest normalized;
+  const SessionRequest* req = &request;
+  if (!request.bench_file.empty()) {
+    normalized = request;
+    normalized.bench_text = ReadBenchFile(request.bench_file);
+    // An explicitly named bench file must never fall back to the
+    // request's (defaulted) built-in circuit.
+    if (normalized.bench_text.empty())
+      throw Error("session: bench file is empty: " + request.bench_file);
+    normalized.bench_file.clear();
+    req = &normalized;
+  }
+  if (req->netlist) {
+    result.netlist = req->netlist;
+    result.netlist_hash = HashNetlist(*result.netlist);
+  } else {
+    if (req->circuit.empty() && req->bench_text.empty())
+      throw Error("session: no netlist source (circuit or bench_text)");
+    if (cache && cache->netlist_enabled()) {
+      auto [artifact, hit] = cache->GetOrComputeNetlist(
+          SourceKey(*req), [&] { return BuildNetlist(*req); });
+      result.netlist = std::move(artifact.hg);
+      result.netlist_hash = artifact.structural_hash;
+      result.cache.netlist = hit ? "hit" : "miss";
+    } else {
+      NetlistArtifact artifact = BuildNetlist(*req);
+      result.netlist = std::move(artifact.hg);
+      result.netlist_hash = artifact.structural_hash;
+    }
+  }
+  const Hypergraph& hg = *result.netlist;
+
+  const std::vector<double> weights =
+      request.weights.empty() ? std::vector<double>(request.height, 1.0)
+                              : request.weights;
+  if (weights.size() != request.height)
+    throw Error("session: weights must carry exactly `height` values");
+  result.spec = UniformHierarchy(hg.total_size(), request.height,
+                                 request.branching, request.slack, weights);
+  const HierarchySpec& spec = result.spec;
+
+  // The deadline is armed once, here, and shared by every stage below —
+  // construction and refinement draw from the same clock. Passing the
+  // token as params.cancel (not re-arming params.budget) keeps the budget
+  // from being granted twice. Identical to the pre-extraction htp_cli.
+  const CancellationToken run_token =
+      StartBudget(request.budget, request.cancel);
+
+  if (request.multilevel && request.algo != "flow" &&
+      request.algo != "flow-mst")
+    throw Error("--multilevel requires --algo flow or flow-mst");
+
+  TreePartition tp(hg, 0);
+  auto provider_stats = std::make_shared<ProviderStats>();
+  if (request.algo == "flow" || request.algo == "flow-mst") {
+    HtpFlowParams params;
+    params.iterations = request.iterations;
+    params.seed = request.seed;
+    params.collect_report = request.collect_report;
+    params.threads = request.threads;
+    params.metric_threads = request.metric_threads;
+    params.build_threads = request.build_threads;
+    params.budget.max_rounds = request.budget.max_rounds;
+    params.cancel = run_token;
+    params.injection.oracle_sample = request.oracle_sample;
+    if (request.algo == "flow-mst") params.carver = CarverKind::kMstSplit;
+
+    if (cache && (cache->metric_enabled() || cache->csr_enabled())) {
+      // The cache-aware provider intercepts every metric computation —
+      // the global per-iteration one and the per-subproblem locals alike.
+      // It must be thread-safe (pool workers call it concurrently) and
+      // bit-transparent: a served artifact is exactly what the direct
+      // ComputeSpreadingMetric call would have returned, because the key
+      // covers every result-affecting input (artifact_key.hpp).
+      ArtifactCache* const c = cache;
+      params.metric_compute = [c, provider_stats](
+                                  const Hypergraph& g, const HierarchySpec& s,
+                                  const FlowInjectionParams& p) {
+        FlowInjectionParams pp = p;
+        const std::uint64_t g_hash = HashNetlist(g);
+        if (c->csr_enabled()) {
+          auto [view, hit] = c->GetOrComputeCsr(
+              g_hash, [&] { return std::make_shared<const CsrView>(g); });
+          pp.csr = std::move(view);
+          (hit ? provider_stats->csr_hits : provider_stats->csr_misses)
+              .fetch_add(1, std::memory_order_relaxed);
+        }
+        if (!c->metric_enabled()) return ComputeSpreadingMetric(g, s, pp);
+        const std::uint64_t key = CombineHashes(std::array<std::uint64_t, 3>{
+            g_hash, HashSpec(s), HashInjectionParams(pp)});
+        auto [metric, hit] = c->GetOrComputeMetric(
+            key, [&] { return ComputeSpreadingMetric(g, s, pp); });
+        (hit ? provider_stats->metric_hits : provider_stats->metric_misses)
+            .fetch_add(1, std::memory_order_relaxed);
+        return metric;
+      };
+    }
+
+    if (request.multilevel) {
+      MultilevelParams ml;
+      ml.flow = params;
+      ml.collect_report = request.collect_report;
+      ml.coarsen_threshold = static_cast<NodeId>(request.coarsen_threshold);
+      MultilevelResult ml_result = RunMultilevelFlow(hg, spec, ml);
+      result.used_multilevel = true;
+      result.coarsen_levels = ml_result.coarsen_levels;
+      result.coarsest_nodes = ml_result.coarsest_nodes;
+      result.coarse_cost = ml_result.coarse_cost;
+      result.feasibility_fallbacks = ml_result.feasibility_fallbacks;
+      result.level_stats = std::move(ml_result.level_stats);
+      result.completed = ml_result.completed;
+      result.stop_reason = ml_result.stop_reason;
+      result.report = std::move(ml_result.report);
+      tp = std::move(ml_result.partition);
+    } else {
+      HtpFlowResult flow_result = RunHtpFlow(hg, spec, params);
+      result.completed = flow_result.completed;
+      result.stop_reason = flow_result.stop_reason;
+      result.iterations = std::move(flow_result.iterations);
+      result.report = std::move(flow_result.report);
+      tp = std::move(flow_result.partition);
+    }
+  } else if (request.algo == "rfm") {
+    RfmParams rfm_params;
+    rfm_params.seed = request.seed;
+    rfm_params.cancel = run_token;
+    rfm_params.build_threads = request.build_threads;
+    tp = RunRfm(hg, spec, rfm_params);
+  } else if (request.algo == "gfm") {
+    GfmParams gfm_params;
+    gfm_params.seed = request.seed;
+    gfm_params.cancel = run_token;
+    tp = RunGfm(hg, spec, gfm_params);
+  } else {
+    throw Error("unknown --algo '" + request.algo + "'");
+  }
+  result.cost = PartitionCost(tp, spec);
+
+  if (request.refine) {
+    HtpFmParams fm_params;
+    fm_params.seed = request.seed;
+    fm_params.cancel = run_token;
+    result.fm = request.build_threads != 1
+                    ? RefineHtpFmBlocks(tp, spec, fm_params,
+                                        request.build_threads)
+                    : RefineHtpFm(tp, spec, fm_params);
+    result.refined = true;
+  }
+  RequireValidPartition(tp, spec);
+  result.partition = std::move(tp);
+
+  // rfm/gfm runs assemble a driver-level report so collect_report always
+  // yields a valid artifact (the flow pipelines build their own richer
+  // one). Field-for-field the fallback htp_cli used to build inline.
+  if (request.collect_report && result.report.empty()) {
+    obs::RunReportBuilder rb(request.report_tool);
+    rb.MetaString("algorithm", request.algo);
+    rb.MetaNumber("nodes", static_cast<double>(hg.num_nodes()));
+    rb.MetaNumber("nets", static_cast<double>(hg.num_nets()));
+    rb.MetaNumber("levels", static_cast<double>(spec.num_levels()));
+    rb.MetaNumber("seed", static_cast<double>(request.seed));
+    rb.ResultNumber("cost", PartitionCost(*result.partition, spec));
+    rb.WallNumber("threads", static_cast<double>(request.threads));
+    rb.WallNumber("build_threads",
+                  static_cast<double>(request.build_threads));
+    result.report = rb.Render(obs::TakeSnapshot(), obs::DrainEvents());
+  }
+
+  result.cache.csr_hits =
+      provider_stats->csr_hits.load(std::memory_order_relaxed);
+  result.cache.csr_misses =
+      provider_stats->csr_misses.load(std::memory_order_relaxed);
+  result.cache.metric_hits =
+      provider_stats->metric_hits.load(std::memory_order_relaxed);
+  result.cache.metric_misses =
+      provider_stats->metric_misses.load(std::memory_order_relaxed);
+  result.run_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return result;
+}
+
+}  // namespace htp::serve

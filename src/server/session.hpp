@@ -1,0 +1,125 @@
+// Session: the reusable run-pipeline extracted from htp_cli.
+//
+// One SessionRequest describes everything a partition run needs — netlist
+// source, hierarchy shape, algorithm, parallelism knobs, budget — and
+// RunSession executes the exact pipeline htp_cli used to inline: resolve
+// the netlist, build the hierarchy spec, arm the budget once, run the
+// chosen algorithm (flow / flow-mst, optionally multilevel; rfm; gfm),
+// optionally refine with generalized FM, and validate the result. htp_cli
+// is now a thin driver over this function (parse argv, call, print), and
+// htp_serve drives the same function per request — the library/driver
+// split ROADMAP calls for, so the two binaries cannot drift apart.
+//
+// Determinism: for a fixed request (and no wall-clock deadline) the
+// partition, cost, and iteration stats are bit-identical whether cache is
+// null or warm, and identical between htp_cli and htp_serve — the serve
+// smoke test diffs the two binaries' partitions byte for byte. The cache
+// preserves bits because every artifact it serves is a pure function of
+// the key (docs/server.md, "Cache key derivation").
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/htp_flow.hpp"
+#include "multilevel/multilevel_flow.hpp"
+#include "partition/htp_fm.hpp"
+#include "server/cache.hpp"
+
+namespace htp::serve {
+
+/// One partition run. Field defaults mirror htp_cli's flag defaults.
+struct SessionRequest {
+  /// Netlist source — exactly one of the four. `circuit` names a built-in
+  /// ISCAS85-like generator (instantiated with the run seed, matching
+  /// htp_cli); `bench_text` is inline .bench source; `bench_file` is a
+  /// path read up-front into `bench_text` (so cache keys stay
+  /// content-based, never path-based); `netlist` is a pre-parsed
+  /// hypergraph (tests, embedding callers).
+  std::string circuit;
+  std::string bench_text;
+  std::string bench_file;
+  std::shared_ptr<const Hypergraph> netlist;
+
+  std::string algo = "flow";  ///< flow | flow-mst | rfm | gfm
+  Level height = 4;
+  std::size_t branching = 2;
+  double slack = 0.10;
+  std::vector<double> weights;  ///< per-level; empty = all 1.0
+  std::size_t iterations = 4;
+  std::size_t threads = 0;
+  std::size_t metric_threads = 1;
+  std::size_t build_threads = 1;
+  bool refine = false;
+  bool multilevel = false;
+  std::size_t coarsen_threshold = 800;
+  double oracle_sample = 0.0;
+  std::uint64_t seed = 1;
+  /// Armed once at the top of RunSession and shared by every stage, like
+  /// htp_cli's --time-budget / --max-rounds.
+  Budget budget;
+  /// Optional external cancellation, linked as the budget's parent.
+  CancellationToken cancel;
+  /// Assemble a RunReport into SessionResult::report. For rfm/gfm the
+  /// fallback CLI-level report is built here, under `report_tool`.
+  bool collect_report = false;
+  std::string report_tool = "htp_cli";
+};
+
+/// Per-request cache outcome. The netlist tier resolves exactly once per
+/// request; the csr and metric tiers are consulted once per metric
+/// computation (the per-subproblem metrics of MetricScope::kPerSubproblem
+/// included), so they report counts.
+struct SessionCacheOutcome {
+  std::string netlist = "off";  ///< "hit" | "miss" | "off"
+  std::size_t csr_hits = 0;
+  std::size_t csr_misses = 0;
+  std::size_t metric_hits = 0;
+  std::size_t metric_misses = 0;
+};
+
+/// Everything the drivers print or serialize.
+struct SessionResult {
+  std::shared_ptr<const Hypergraph> netlist;
+  /// Structural fingerprint (artifact_key.hpp), always computed — it is
+  /// the identity serve responses report.
+  std::uint64_t netlist_hash = 0;
+  HierarchySpec spec;
+  /// Always engaged on a successful return (optional only because
+  /// TreePartition needs its hypergraph to construct).
+  std::optional<TreePartition> partition;
+  /// Interconnection cost of `partition` as the algorithm produced it
+  /// (before refinement; `fm.final_cost` is the post-refinement cost).
+  double cost = 0.0;
+  bool completed = true;
+  StopReason stop_reason = StopReason::kCompleted;
+  /// Flow-algorithm iteration stats (empty for rfm/gfm/multilevel).
+  std::vector<HtpFlowIteration> iterations;
+
+  /// Multilevel extras, populated iff `used_multilevel`.
+  bool used_multilevel = false;
+  std::size_t coarsen_levels = 0;
+  NodeId coarsest_nodes = 0;
+  double coarse_cost = 0.0;
+  std::size_t feasibility_fallbacks = 0;
+  std::vector<MultilevelLevelStats> level_stats;
+
+  bool refined = false;
+  HtpFmStats fm;  ///< valid iff `refined`
+
+  std::string report;  ///< RunReport JSON, iff collect_report
+  SessionCacheOutcome cache;
+  double run_seconds = 0.0;  ///< wall clock (outside determinism)
+};
+
+/// Runs one session. `cache` may be null (htp_cli passes null: identical
+/// behaviour to the pre-extraction CLI). Throws htp::Error on invalid
+/// requests (unknown algo, bad weights length, --multilevel with a
+/// non-flow algo — same messages the CLI raised inline) and propagates
+/// parse/validation errors.
+SessionResult RunSession(const SessionRequest& request, ArtifactCache* cache);
+
+}  // namespace htp::serve

@@ -53,3 +53,25 @@ execute_process(
 if(NOT render_status EQUAL 0)
   message(FATAL_ERROR "obs_report.py render failed")
 endif()
+
+# Negative check: the validator is strict about the top level — a report
+# with an unknown extra section must be rejected, not waved through.
+set(TAMPERED ${WORK_DIR}/run.tampered.report.json)
+execute_process(
+  COMMAND ${PYTHON} -c
+"import json, sys
+doc = json.load(open(sys.argv[1]))
+doc['bogus_section'] = {}
+json.dump(doc, open(sys.argv[2], 'w'))"
+          ${REPORT} ${TAMPERED}
+  RESULT_VARIABLE tamper_status)
+if(NOT tamper_status EQUAL 0)
+  message(FATAL_ERROR "could not write tampered report")
+endif()
+execute_process(
+  COMMAND ${PYTHON} ${SCRIPT} validate ${TAMPERED}
+  RESULT_VARIABLE strict_status OUTPUT_QUIET)
+if(strict_status EQUAL 0)
+  message(FATAL_ERROR
+          "obs_report.py validate accepted an unknown top-level section")
+endif()

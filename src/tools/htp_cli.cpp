@@ -5,10 +5,16 @@
 // the generalized FM improver, and writes the partition in the
 // htp-partition text format (core/partition_io.hpp).
 //
-//   htp_cli --bench c880.bench --height 4 --algo flow --refine \
+//   htp_cli --bench c880.bench --height 4 --algo flow --refine
 //           --out c880.part
 //   htp_cli --circuit c2670 --height 3 --branching 2 --weights 1,4,16
 //   htp_cli --circuit c1355 --stats --trace c1355.trace.json
+//
+// The run pipeline itself lives in server/session.hpp (RunSession); this
+// file is the thin driver: parse argv into a SessionRequest, run it with
+// no cache, print the same summary lines the pre-split CLI printed, and
+// write the requested artifacts. htp_serve drives the identical pipeline,
+// which is what keeps daemon partitions bit-identical to CLI partitions.
 //
 // Exit codes: 0 success, 2 bad usage (including malformed numeric
 // arguments), 1 runtime failure.
@@ -19,20 +25,13 @@
 #include <string>
 #include <vector>
 
-#include "core/htp_flow.hpp"
 #include "core/dot_export.hpp"
-#include "multilevel/multilevel_flow.hpp"
 #include "core/partition_io.hpp"
-#include "netlist/bench_parser.hpp"
-#include "netlist/generators.hpp"
 #include "obs/obs.hpp"
 #include "obs/report.hpp"
 #include "obs/sinks.hpp"
-#include "partition/gfm.hpp"
-#include "partition/htp_fm.hpp"
-#include "partition/parallel_refine.hpp"
-#include "partition/rfm.hpp"
 #include "runtime/thread_pool.hpp"
+#include "server/session.hpp"
 
 namespace {
 
@@ -137,19 +136,12 @@ std::vector<double> ParseWeights(const std::string& csv) {
 
 int main(int argc, char** argv) {
   using namespace htp;
-  std::string bench_file, circuit = "c1355", algo = "flow", out_file;
+  serve::SessionRequest request;
+  request.circuit = "c1355";
+  std::string out_file;
   std::string dot_file, trace_file, stats_file, report_file, jsonl_file;
   std::string weights_csv;
-  std::vector<double> weights;
-  Level height = 4;
-  std::size_t branching = 2, iterations = 4, threads = 0, metric_threads = 1;
-  std::size_t build_threads = 1;
-  double slack = 0.10;
-  bool refine = false, stats = false, multilevel = false;
-  std::size_t coarsen_threshold = 800;
-  double oracle_sample = 0.0;
-  std::uint64_t seed = 1;
-  Budget budget;
+  bool stats = false;
 
   // Bad usage — unknown flags, missing values, and malformed numbers alike
   // (std::stoul and friends throw on garbage) — exits 2 with the usage
@@ -164,25 +156,31 @@ int main(int argc, char** argv) {
         }
         return true;
       };
-      if (arg("--bench")) bench_file = argv[++i];
-      else if (arg("--circuit")) circuit = argv[++i];
-      else if (arg("--algo")) algo = argv[++i];
-      else if (arg("--height")) height = static_cast<Level>(std::stoul(argv[++i]));
-      else if (arg("--branching")) branching = std::stoul(argv[++i]);
-      else if (arg("--slack")) slack = std::stod(argv[++i]);
+      if (arg("--bench")) request.bench_file = argv[++i];
+      else if (arg("--circuit")) request.circuit = argv[++i];
+      else if (arg("--algo")) request.algo = argv[++i];
+      else if (arg("--height"))
+        request.height = static_cast<Level>(std::stoul(argv[++i]));
+      else if (arg("--branching")) request.branching = std::stoul(argv[++i]);
+      else if (arg("--slack")) request.slack = std::stod(argv[++i]);
       else if (arg("--weights")) weights_csv = argv[++i];
-      else if (arg("--iterations")) iterations = std::stoul(argv[++i]);
-      else if (arg("--threads")) threads = std::stoul(argv[++i]);
-      else if (arg("--metric-threads")) metric_threads = std::stoul(argv[++i]);
-      else if (arg("--build-threads")) build_threads = std::stoul(argv[++i]);
+      else if (arg("--iterations")) request.iterations = std::stoul(argv[++i]);
+      else if (arg("--threads")) request.threads = std::stoul(argv[++i]);
+      else if (arg("--metric-threads"))
+        request.metric_threads = std::stoul(argv[++i]);
+      else if (arg("--build-threads"))
+        request.build_threads = std::stoul(argv[++i]);
       else if (arg("--time-budget"))
-        budget.time_budget_seconds = std::stod(argv[++i]);
-      else if (arg("--max-rounds")) budget.max_rounds = std::stoul(argv[++i]);
+        request.budget.time_budget_seconds = std::stod(argv[++i]);
+      else if (arg("--max-rounds"))
+        request.budget.max_rounds = std::stoul(argv[++i]);
       else if (arg("--coarsen-threshold"))
-        coarsen_threshold = std::stoul(argv[++i]);
-      else if (arg("--oracle-sample")) oracle_sample = std::stod(argv[++i]);
-      else if (std::strcmp(argv[i], "--multilevel") == 0) multilevel = true;
-      else if (arg("--seed")) seed = std::stoull(argv[++i]);
+        request.coarsen_threshold = std::stoul(argv[++i]);
+      else if (arg("--oracle-sample"))
+        request.oracle_sample = std::stod(argv[++i]);
+      else if (std::strcmp(argv[i], "--multilevel") == 0)
+        request.multilevel = true;
+      else if (arg("--seed")) request.seed = std::stoull(argv[++i]);
       else if (arg("--out")) out_file = argv[++i];
       else if (arg("--dot")) dot_file = argv[++i];
       else if (arg("--trace")) trace_file = argv[++i];
@@ -193,7 +191,7 @@ int main(int argc, char** argv) {
         stats = true;
         stats_file = argv[i] + 8;
       }
-      else if (std::strcmp(argv[i], "--refine") == 0) refine = true;
+      else if (std::strcmp(argv[i], "--refine") == 0) request.refine = true;
       else if (std::strcmp(argv[i], "--help") == 0) { Usage(argv[0]); return 0; }
       else {
         std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
@@ -201,12 +199,14 @@ int main(int argc, char** argv) {
         return 2;
       }
     }
-    weights = weights_csv.empty() ? std::vector<double>(height, 1.0)
-                                  : ParseWeights(weights_csv);
-    if (weights.size() != height) {
-      std::fprintf(stderr, "error: --weights needs exactly --height values\n");
-      Usage(argv[0]);
-      return 2;
+    if (!weights_csv.empty()) {
+      request.weights = ParseWeights(weights_csv);
+      if (request.weights.size() != request.height) {
+        std::fprintf(stderr,
+                     "error: --weights needs exactly --height values\n");
+        Usage(argv[0]);
+        return 2;
+      }
     }
   } catch (const std::invalid_argument&) {
     std::fprintf(stderr, "error: malformed numeric argument\n");
@@ -222,41 +222,16 @@ int main(int argc, char** argv) {
   // Deterministic lane naming: the driver thread is "main", pool workers
   // are "worker-<i>" (named by the runtime), so repeated traces line up.
   obs::NameThisThread("main");
+  request.collect_report = !report_file.empty();
 
   try {
-    Hypergraph hg = bench_file.empty()
-                        ? MakeIscas85Like(circuit, seed)
-                        : ParseBenchFile(bench_file).hg;
+    const serve::SessionResult run = serve::RunSession(request, nullptr);
+    const Hypergraph& hg = *run.netlist;
     std::printf("netlist: %u nodes, %u nets, %zu pins\n", hg.num_nodes(),
                 hg.num_nets(), hg.num_pins());
+    std::printf("hierarchy: %s\n", run.spec.ToString().c_str());
 
-    const HierarchySpec spec =
-        UniformHierarchy(hg.total_size(), height, branching, slack, weights);
-    std::printf("hierarchy: %s\n", spec.ToString().c_str());
-
-    // The deadline is armed once, here, and shared by every stage below
-    // (construction and refinement draw from the same clock); passing the
-    // token as params.cancel rather than re-arming params.budget keeps the
-    // budget from being granted twice.
-    const CancellationToken run_token = StartBudget(budget);
-
-    if (multilevel && algo != "flow" && algo != "flow-mst")
-      throw Error("--multilevel requires --algo flow or flow-mst");
-
-    TreePartition tp(hg, 0);
-    std::string run_report;
-    if (algo == "flow" || algo == "flow-mst") {
-      HtpFlowParams params;
-      params.iterations = iterations;
-      params.seed = seed;
-      params.collect_report = !report_file.empty();
-      params.threads = threads;
-      params.metric_threads = metric_threads;
-      params.build_threads = build_threads;
-      params.budget.max_rounds = budget.max_rounds;
-      params.cancel = run_token;
-      params.injection.oracle_sample = oracle_sample;
-      if (algo == "flow-mst") params.carver = CarverKind::kMstSplit;
+    if (request.algo == "flow" || request.algo == "flow-mst") {
       // Self-describing runs: --threads 0 silently meant "all hardware
       // threads", which made timings impossible to interpret after the
       // fact; print the resolved worker counts up front.
@@ -264,83 +239,53 @@ int main(int argc, char** argv) {
           "flow: %zu iterations on %zu threads (--threads %zu), "
           "%zu scan threads (--metric-threads %zu), "
           "build %s (--build-threads %zu)\n",
-          iterations, ResolveThreadCount(threads), threads,
-          ResolveThreadCount(metric_threads), metric_threads,
-          build_threads == 1 ? "serial" : "tasked", build_threads);
-      if (multilevel) {
-        MultilevelParams ml;
-        ml.flow = params;
-        ml.collect_report = !report_file.empty();
-        ml.coarsen_threshold = static_cast<NodeId>(coarsen_threshold);
-        MultilevelResult result = RunMultilevelFlow(hg, spec, ml);
-        run_report = std::move(result.report);
+          request.iterations, ResolveThreadCount(request.threads),
+          request.threads, ResolveThreadCount(request.metric_threads),
+          request.metric_threads,
+          request.build_threads == 1 ? "serial" : "tasked",
+          request.build_threads);
+      if (run.used_multilevel) {
         std::printf(
             "multilevel: %zu coarsening levels, coarsest %u nodes, "
             "coarse cost %.0f%s\n",
-            result.coarsen_levels, result.coarsest_nodes, result.coarse_cost,
-            result.feasibility_fallbacks
-                ? (" (" + std::to_string(result.feasibility_fallbacks) +
+            run.coarsen_levels, run.coarsest_nodes, run.coarse_cost,
+            run.feasibility_fallbacks
+                ? (" (" + std::to_string(run.feasibility_fallbacks) +
                    " infeasible levels discarded)")
                       .c_str()
                 : "");
-        for (std::size_t i = 0; i < result.level_stats.size(); ++i) {
-          const MultilevelLevelStats& s = result.level_stats[i];
+        for (std::size_t i = 0; i < run.level_stats.size(); ++i) {
+          const MultilevelLevelStats& s = run.level_stats[i];
           std::printf("  uncoarsen level %zu: %u nodes, %.0f -> %.0f "
                       "(%zu FM passes)\n",
-                      result.level_stats.size() - 1 - i, s.nodes,
+                      run.level_stats.size() - 1 - i, s.nodes,
                       s.projected_cost, s.refined_cost, s.fm_passes);
         }
-        if (!budget.Unlimited())
+        if (!request.budget.Unlimited())
           std::printf("multilevel: stop_reason=%s\n",
-                      StopReasonName(result.stop_reason));
-        tp = std::move(result.partition);
-      } else {
-        HtpFlowResult result = RunHtpFlow(hg, spec, params);
-        if (!budget.Unlimited())
-          std::printf("flow: stop_reason=%s (%zu of %zu iterations ran)\n",
-                      StopReasonName(result.stop_reason),
-                      result.iterations.size(), iterations);
-        run_report = std::move(result.report);
-        tp = std::move(result.partition);
+                      StopReasonName(run.stop_reason));
+      } else if (!request.budget.Unlimited()) {
+        std::printf("flow: stop_reason=%s (%zu of %zu iterations ran)\n",
+                    StopReasonName(run.stop_reason), run.iterations.size(),
+                    request.iterations);
       }
-    } else if (algo == "rfm") {
-      RfmParams rfm_params;
-      rfm_params.seed = seed;
-      rfm_params.cancel = run_token;
-      rfm_params.build_threads = build_threads;
-      tp = RunRfm(hg, spec, rfm_params);
-    } else if (algo == "gfm") {
-      GfmParams gfm_params;
-      gfm_params.seed = seed;
-      gfm_params.cancel = run_token;
-      tp = RunGfm(hg, spec, gfm_params);
-    } else {
-      throw Error("unknown --algo '" + algo + "'");
     }
-    std::printf("%s cost: %.0f\n", algo.c_str(), PartitionCost(tp, spec));
+    std::printf("%s cost: %.0f\n", request.algo.c_str(), run.cost);
 
-    if (refine) {
-      HtpFmParams params;
-      params.seed = seed;
-      params.cancel = run_token;
-      const HtpFmStats stats =
-          build_threads != 1
-              ? RefineHtpFmBlocks(tp, spec, params, build_threads)
-              : RefineHtpFm(tp, spec, params);
+    if (run.refined) {
       std::printf("after FM refinement: %.0f (%zu moves kept, %zu passes%s)\n",
-                  stats.final_cost, stats.moves_kept, stats.passes,
-                  stats.completed ? "" : ", stopped by budget");
+                  run.fm.final_cost, run.fm.moves_kept, run.fm.passes,
+                  run.fm.completed ? "" : ", stopped by budget");
     }
-    RequireValidPartition(tp, spec);
 
     if (!out_file.empty()) {
-      WritePartitionFile(tp, out_file);
+      WritePartitionFile(*run.partition, out_file);
       std::printf("partition written to %s\n", out_file.c_str());
     }
     if (!dot_file.empty()) {
       std::ofstream dot(dot_file);
       if (!dot) throw Error("cannot open for writing: " + dot_file);
-      dot << PartitionToDot(tp, spec);
+      dot << PartitionToDot(*run.partition, run.spec);
       std::printf("graphviz tree written to %s\n", dot_file.c_str());
     }
     if (!trace_file.empty()) {
@@ -353,31 +298,17 @@ int main(int argc, char** argv) {
                       : " (empty: built with HTP_OBS_ENABLED=OFF)");
     }
     if (!report_file.empty()) {
-      // The flow pipelines assemble their own report (with their result
-      // fields and the drained journal); rfm/gfm runs get a CLI-level one
-      // so --report always yields a valid artifact.
-      if (run_report.empty()) {
-        obs::RunReportBuilder rb("htp_cli");
-        rb.MetaString("algorithm", algo);
-        rb.MetaNumber("nodes", static_cast<double>(hg.num_nodes()));
-        rb.MetaNumber("nets", static_cast<double>(hg.num_nets()));
-        rb.MetaNumber("levels", static_cast<double>(spec.num_levels()));
-        rb.MetaNumber("seed", static_cast<double>(seed));
-        rb.ResultNumber("cost", PartitionCost(tp, spec));
-        rb.WallNumber("threads", static_cast<double>(threads));
-        rb.WallNumber("build_threads", static_cast<double>(build_threads));
-        run_report = rb.Render(obs::TakeSnapshot(), obs::DrainEvents());
-      }
       std::ofstream report(report_file);
       if (!report) throw Error("cannot open for writing: " + report_file);
-      report << run_report << '\n';
+      report << run.report << '\n';
       std::printf("run report written to %s\n", report_file.c_str());
     }
     if (!jsonl_file.empty()) {
       std::ofstream jsonl(jsonl_file);
       if (!jsonl) throw Error("cannot open for writing: " + jsonl_file);
-      obs::WriteJsonlSnapshot(jsonl, obs::TakeSnapshot(), "htp_cli",
-                              bench_file.empty() ? circuit : bench_file);
+      obs::WriteJsonlSnapshot(
+          jsonl, obs::TakeSnapshot(), "htp_cli",
+          request.bench_file.empty() ? request.circuit : request.bench_file);
       std::printf("obs jsonl written to %s\n", jsonl_file.c_str());
     }
     if (stats) {
