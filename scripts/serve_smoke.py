@@ -12,6 +12,12 @@ contracts docs/server.md promises:
 * the partition the daemon returns is byte-identical to what ``htp_cli
   --out`` writes for the same request and seed — the two binaries drive
   the same session pipeline and must never drift apart;
+* the ECO warm-start path keeps the same parity (docs/incremental.md): a
+  request carrying ``emit_warm_state`` returns the warm-start document, an
+  empty-delta resume from it reports ``warm_source`` "state" with zero
+  warm injections and returns the cold partition byte for byte, and the
+  daemon's warm partition is byte-identical to what ``htp_cli
+  --warm-start`` writes from the same state file;
 * ping answers inline and shutdown terminates the daemon cleanly.
 
 Usage (CI and ctest run exactly this):
@@ -129,6 +135,41 @@ def main():
                 "request and seed")
             print(f"parity: daemon partition is byte-identical to htp_cli "
                   f"({len(cli_partition)} bytes)")
+
+            # ECO warm-start parity: emit the state, resume from it, and
+            # check the daemon's warm run against htp_cli --warm-start.
+            emit_request = dict(REQUEST, id="emit", emit_warm_state=True)
+            sock.sendall(json.dumps(emit_request).encode() + b"\n")
+            emitted = recv_line(sock)
+            assert emitted["status"] == "ok", emitted
+            warm_state = emitted["deterministic"]["warm_state"]
+            assert warm_state.startswith("htp-warm-start v1"), warm_state[:40]
+
+            eco_request = dict(REQUEST, id="eco", warm_text=warm_state)
+            sock.sendall(json.dumps(eco_request).encode() + b"\n")
+            eco = recv_line(sock)
+            assert eco["status"] == "ok", eco
+            eco_summary = eco["deterministic"]["result"]["eco"]
+            assert eco_summary["warm_source"] == "state", eco_summary
+            assert not eco_summary["full_rebuild"], eco_summary
+            assert eco_summary["warm_injections"] == 0, eco_summary
+            assert eco["deterministic"]["partition"] == serve_partition, (
+                "empty-delta warm resume is not byte-identical to the cold "
+                "partition")
+
+            state_file = tmp / "state.warm"
+            state_file.write_text(warm_state)
+            warm_out = tmp / "cli_warm.part"
+            subprocess.run(
+                [args.cli, *CLI_ARGS, "--warm-start", str(state_file),
+                 "--out", str(warm_out)],
+                check=True, stdout=subprocess.DEVNULL)
+            assert eco["deterministic"]["partition"] == warm_out.read_text(), (
+                "daemon warm partition differs from htp_cli --warm-start "
+                "for the same state and seed")
+            print("eco: daemon warm resume matches htp_cli --warm-start "
+                  f"(reused {eco_summary['blocks_reused']} blocks, "
+                  f"0 warm injections)")
 
             sock.sendall(b'{"op":"shutdown"}\n')
             bye = recv_line(sock)

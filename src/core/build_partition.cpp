@@ -319,6 +319,19 @@ class TaskedBuilder {
 
 }  // namespace
 
+void BuildPartitionSubtree(TreePartition& tp, BlockId q,
+                           std::vector<NodeId> nodes,
+                           const HierarchySpec& spec,
+                           const SpreadingMetric& metric, const CarveFn& carve,
+                           Rng& rng, const CancellationToken& cancel) {
+  HTP_CHECK(!nodes.empty());
+  HTP_CHECK_MSG(tp.children(q).empty(),
+                "subtree build target must not already have children");
+  obs::PhaseScope obs_span(t_build);
+  Builder builder(tp.hypergraph(), spec, metric, carve, rng, tp, cancel);
+  builder.Build(q, std::move(nodes));
+}
+
 TreePartition BuildPartitionTopDown(const Hypergraph& hg,
                                     const HierarchySpec& spec,
                                     const SpreadingMetric& metric,

@@ -68,4 +68,18 @@ TreePartition BuildPartitionTasked(const Hypergraph& hg,
                                    std::size_t build_threads,
                                    const CancellationToken& cancel = {});
 
+/// Runs the serial Algorithm-3 recursion below block `q` of an existing
+/// partition, populating it with `nodes` (ids in `tp.hypergraph()`; the
+/// block must be childless). Exactly the recursion BuildPartitionTopDown
+/// applies below its root — same chain descent, carve windows, and RNG
+/// draw order — just entered at an interior block, so the delta-scoped ECO
+/// re-carver (src/incremental/eco_repartition.cpp) can rebuild only the
+/// subtrees a netlist delta touched while cloning untouched siblings from
+/// the prior partition. `metric` spans the nets of `tp.hypergraph()`.
+void BuildPartitionSubtree(TreePartition& tp, BlockId q,
+                           std::vector<NodeId> nodes,
+                           const HierarchySpec& spec,
+                           const SpreadingMetric& metric, const CarveFn& carve,
+                           Rng& rng, const CancellationToken& cancel = {});
+
 }  // namespace htp

@@ -21,6 +21,9 @@ obs::Counter c_converged("flow.converged");
 // Metric computations cut short by a fired CancellationToken. Non-zero only
 // when a budget actually fires, so unbudgeted totals stay bit-identical.
 obs::Counter c_rounds_truncated("flow.rounds_truncated");
+// Computations seeded from a prior converged metric (ECO warm starts,
+// docs/incremental.md); zero on cold runs, so cold totals are untouched.
+obs::Counter c_warm_starts("flow.warm_starts");
 // Sources dropped by the sampled separation oracle (oracle_sample in
 // (0,1)); zero on exact runs, so exact totals are untouched by the knob.
 obs::Counter c_oracle_skipped("flow.oracle_skipped_sources");
@@ -57,6 +60,25 @@ void MaybeSampleWorklist(std::vector<NodeId>& worklist, double fraction,
   std::sort(worklist.begin(), worklist.end());
 }
 
+// Applies FlowInjectionParams::warm_metric to the freshly epsilon-filled
+// flow vector: each seed value d is inverted back into the flow that would
+// produce it, clamped below by epsilon so a zeroed (touched) net starts
+// exactly where a cold run would. No-op when no seed is set, keeping the
+// cold path bit-identical.
+void MaybeSeedWarmFlow(const Hypergraph& hg, const FlowInjectionParams& params,
+                       std::vector<double>& flow) {
+  if (!params.warm_metric) return;
+  const SpreadingMetric& seed = *params.warm_metric;
+  HTP_CHECK_MSG(seed.size() == hg.num_nets(),
+                "warm_metric must carry exactly one value per net");
+  for (NetId e = 0; e < hg.num_nets(); ++e) {
+    HTP_CHECK_MSG(seed[e] >= 0.0, "warm_metric values must be >= 0");
+    flow[e] = std::max(params.epsilon,
+                       hg.net_capacity(e) * std::log1p(seed[e]) / params.alpha);
+  }
+  c_warm_starts.Add();
+}
+
 }  // namespace
 
 FlowInjectionResult ComputeSpreadingMetric(const Hypergraph& hg,
@@ -72,6 +94,7 @@ FlowInjectionResult ComputeSpreadingMetric(const Hypergraph& hg,
 
   FlowInjectionResult result;
   result.flow.assign(hg.num_nets(), params.epsilon);
+  MaybeSeedWarmFlow(hg, params, result.flow);
   result.metric.assign(hg.num_nets(), 0.0);
   // Running sum_e c(e) d(e), maintained incrementally: O(tree_nets) per
   // injection instead of an O(nets) sweep per round just to journal it.
@@ -184,6 +207,7 @@ FlowInjectionResult ComputePairPathSpreadingMetric(
 
   FlowInjectionResult result;
   result.flow.assign(hg.num_nets(), params.epsilon);
+  MaybeSeedWarmFlow(hg, params, result.flow);
   result.metric.assign(hg.num_nets(), 0.0);
   auto update_length = [&](NetId e) {
     result.metric[e] =

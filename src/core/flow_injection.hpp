@@ -75,6 +75,22 @@ struct FlowInjectionParams {
   /// is a pure function of the hypergraph. Ignored by
   /// ComputePairPathSpreadingMetric, which stays on the serial oracle.
   std::shared_ptr<const CsrView> csr;
+  /// Warm-start seed for incremental (ECO) repartitioning
+  /// (docs/incremental.md). When set it must carry exactly one value per
+  /// net of `hg`: a prior run's converged metric d(e), remapped through a
+  /// netlist delta (untouched nets keep their converged length, touched or
+  /// added nets carry 0). Initialization inverts each seed back into flow,
+  ///
+  ///   f(e) = max(epsilon, c(e) * ln(1 + d(e)) / alpha),
+  ///
+  /// so Algorithm 2 *resumes* injection from the prior near-feasible state
+  /// instead of starting from the uniform-epsilon cold start; the monotone
+  /// length-growth convergence argument is unchanged because a warm start
+  /// only raises initial lengths. Null (the default) is the cold start,
+  /// bit-identical to every prior release. A warm seed changes results, so
+  /// it participates in the artifact-cache key (server/artifact_key.hpp) —
+  /// warm-seeded metrics never alias cold cache entries.
+  std::shared_ptr<const SpreadingMetric> warm_metric;
 };
 
 /// Outcome of Algorithm 2.

@@ -81,6 +81,9 @@ struct IterationOutcome {
   double best_cost = 0.0;
   bool skipped = false;    ///< token fired before the iteration started
   bool truncated = false;  ///< token fired somewhere inside the iteration
+  /// The iteration's converged global metric, kept iff keep_best_metric
+  /// (the winner's copy moves into HtpFlowResult::best_metric).
+  SpreadingMetric metric;
 };
 
 // Applies the budget's deterministic round cap to one metric computation
@@ -132,6 +135,7 @@ IterationOutcome RunIteration(const Hypergraph& hg, const HierarchySpec& spec,
   out.stats.metric_converged = metric.converged;
   out.stats.best_partition_cost = -1.0;
   out.truncated = metric.cancelled;
+  if (params.keep_best_metric) out.metric = metric.metric;
 
   // The carver: in kPerSubproblem mode the whole-graph carves use the
   // metric computed above, and every proper subproblem gets a freshly
@@ -156,6 +160,10 @@ IterationOutcome RunIteration(const Hypergraph& hg, const HierarchySpec& spec,
           BudgetedInjection(params.injection, params.budget, cancel);
       local.seed = tasked ? rng.next_u64() : metric_rng.next_u64();
       local.threads = params.metric_threads;
+      // A warm seed (ECO, docs/incremental.md) is sized for the *input*
+      // hypergraph; per-subproblem locals run on different net sets, so
+      // they always inject cold (exactly what a cold run would do).
+      local.warm_metric.reset();
       const FlowInjectionResult local_metric = compute_metric(sub, spec, local);
       if (local_metric.cancelled)
         carve_truncated.store(true, std::memory_order_relaxed);
@@ -292,7 +300,10 @@ HtpFlowResult RunHtpFlow(const Hypergraph& hg, const HierarchySpec& spec,
                        {},
                        true,
                        StopReason::kCompleted,
+                       {},
                        {}};
+  if (params.keep_best_metric)
+    result.best_metric = std::move(outcomes[winner].metric);
   result.iterations.reserve(planned - skipped);
   for (IterationOutcome& out : outcomes)
     if (!out.skipped) result.iterations.push_back(out.stats);

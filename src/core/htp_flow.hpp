@@ -126,6 +126,12 @@ struct HtpFlowParams {
   std::function<FlowInjectionResult(
       const Hypergraph&, const HierarchySpec&, const FlowInjectionParams&)>
       metric_compute;
+  /// When true, the winning iteration's converged *global* metric is moved
+  /// into `HtpFlowResult::best_metric` so callers can persist it as an ECO
+  /// warm-start seed (src/incremental/warm_start.hpp). Costs one
+  /// O(num_nets) vector copy per iteration and nothing else — results are
+  /// unchanged. Off by default.
+  bool keep_best_metric = false;
 };
 
 /// Statistics of one Algorithm-1 iteration.
@@ -160,6 +166,10 @@ struct HtpFlowResult {
   /// bit-identical across `threads` × `metric_threads` on unbudgeted runs
   /// (tests/obs/report_test.cpp).
   std::string report;
+  /// The winning iteration's converged global metric d(e), populated iff
+  /// `params.keep_best_metric` was set (empty otherwise). This is the seed
+  /// a WarmStartState persists for incremental repartitioning.
+  SpreadingMetric best_metric;
 };
 
 /// Runs Algorithm 1 (FLOW) on `hg` with respect to `spec`.

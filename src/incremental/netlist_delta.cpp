@@ -1,0 +1,297 @@
+#include "incremental/netlist_delta.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace htp {
+namespace {
+
+[[noreturn]] void Fail(std::size_t line, const std::string& msg) {
+  throw DeltaError("delta line " + std::to_string(line) + ": " + msg);
+}
+
+std::vector<std::string> Tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[i])))
+      ++i;
+    std::size_t start = i;
+    while (i < line.size() &&
+           !std::isspace(static_cast<unsigned char>(line[i])))
+      ++i;
+    if (i > start) tokens.push_back(line.substr(start, i - start));
+  }
+  return tokens;
+}
+
+double ParsePositive(const std::string& tok, std::size_t line,
+                     const char* what) {
+  char* end = nullptr;
+  const double v = std::strtod(tok.c_str(), &end);
+  if (tok.empty() || end != tok.c_str() + tok.size())
+    Fail(line, std::string("unparsable ") + what + " '" + tok + "'");
+  if (!std::isfinite(v) || v <= 0.0)
+    Fail(line, std::string(what) + " must be positive and finite, got '" +
+                   tok + "'");
+  return v;
+}
+
+std::uint32_t ParseId(const std::string& tok, std::size_t line,
+                      const char* what) {
+  if (tok.empty() || !std::isdigit(static_cast<unsigned char>(tok[0])))
+    Fail(line, std::string("unparsable ") + what + " '" + tok + "'");
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(tok.c_str(), &end, 10);
+  if (end != tok.c_str() + tok.size())
+    Fail(line, std::string("unparsable ") + what + " '" + tok + "'");
+  if (v >= kInvalidNode)
+    Fail(line, std::string(what) + " out of range: '" + tok + "'");
+  return static_cast<std::uint32_t>(v);
+}
+
+void RequireArity(const std::vector<std::string>& tokens, std::size_t want,
+                  std::size_t line) {
+  if (tokens.size() != want)
+    Fail(line, "'" + tokens[0] + "' expects " + std::to_string(want - 1) +
+                   " field(s), got " + std::to_string(tokens.size() - 1));
+}
+
+}  // namespace
+
+NetlistDelta ParseDeltaText(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  std::size_t lineno = 0;
+  bool have_header = false;
+  NetlistDelta delta;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (const std::size_t hash = line.find('#'); hash != std::string::npos)
+      line.erase(hash);
+    const std::vector<std::string> tokens = Tokenize(line);
+    if (tokens.empty()) continue;
+    if (!have_header) {
+      if (tokens.size() != 2 || tokens[0] != "htp-delta" || tokens[1] != "v1")
+        Fail(lineno, "expected header 'htp-delta v1'");
+      have_header = true;
+      continue;
+    }
+    const std::string& directive = tokens[0];
+    if (directive == "add-node") {
+      RequireArity(tokens, 2, lineno);
+      delta.added_nodes.push_back(
+          {ParsePositive(tokens[1], lineno, "node size")});
+    } else if (directive == "remove-node") {
+      RequireArity(tokens, 2, lineno);
+      delta.removed_nodes.push_back(ParseId(tokens[1], lineno, "node id"));
+    } else if (directive == "set-node-size") {
+      RequireArity(tokens, 3, lineno);
+      const NodeId v = ParseId(tokens[1], lineno, "node id");
+      delta.node_size_changes.emplace_back(
+          v, ParsePositive(tokens[2], lineno, "node size"));
+    } else if (directive == "add-net") {
+      if (tokens.size() < 4)
+        Fail(lineno, "'add-net' expects a capacity and >= 2 pins");
+      NetlistDelta::AddedNet net;
+      net.capacity = ParsePositive(tokens[1], lineno, "net capacity");
+      for (std::size_t i = 2; i < tokens.size(); ++i)
+        net.pins.push_back(ParseId(tokens[i], lineno, "pin node id"));
+      delta.added_nets.push_back(std::move(net));
+    } else if (directive == "remove-net") {
+      RequireArity(tokens, 2, lineno);
+      delta.removed_nets.push_back(ParseId(tokens[1], lineno, "net id"));
+    } else if (directive == "set-net-capacity") {
+      RequireArity(tokens, 3, lineno);
+      const NetId e = ParseId(tokens[1], lineno, "net id");
+      delta.net_capacity_changes.emplace_back(
+          e, ParsePositive(tokens[2], lineno, "net capacity"));
+    } else {
+      Fail(lineno, "unknown directive '" + directive + "'");
+    }
+  }
+  if (!have_header) throw DeltaError("delta: missing 'htp-delta v1' header");
+  return delta;
+}
+
+std::string WriteDeltaText(const NetlistDelta& delta) {
+  std::ostringstream out;
+  out.precision(17);
+  out << "htp-delta v1\n";
+  for (const NetlistDelta::AddedNode& a : delta.added_nodes)
+    out << "add-node " << a.size << "\n";
+  for (const NodeId v : delta.removed_nodes) out << "remove-node " << v << "\n";
+  for (const auto& [v, size] : delta.node_size_changes)
+    out << "set-node-size " << v << " " << size << "\n";
+  for (const NetlistDelta::AddedNet& net : delta.added_nets) {
+    out << "add-net " << net.capacity;
+    for (const NodeId pin : net.pins) out << " " << pin;
+    out << "\n";
+  }
+  for (const NetId e : delta.removed_nets) out << "remove-net " << e << "\n";
+  for (const auto& [e, capacity] : delta.net_capacity_changes)
+    out << "set-net-capacity " << e << " " << capacity << "\n";
+  return std::move(out).str();
+}
+
+NetlistDelta ReadDeltaFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw DeltaError("cannot open delta file: " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return ParseDeltaText(std::move(text).str());
+}
+
+DeltaApplication ApplyDelta(const Hypergraph& base, const NetlistDelta& delta) {
+  const NodeId n = base.num_nodes();
+  const NetId m = base.num_nets();
+
+  // --- Validate node edits against the base. ---
+  std::vector<char> node_removed(n, 0);
+  for (const NodeId v : delta.removed_nodes) {
+    if (v >= n)
+      throw DeltaError("remove-node: unknown node id " + std::to_string(v));
+    if (node_removed[v])
+      throw DeltaError("remove-node: duplicate remove of node " +
+                       std::to_string(v));
+    node_removed[v] = 1;
+  }
+  std::vector<double> node_size(n);
+  for (NodeId v = 0; v < n; ++v) node_size[v] = base.node_size(v);
+  std::vector<char> node_resized(n, 0);
+  for (const auto& [v, size] : delta.node_size_changes) {
+    if (v >= n)
+      throw DeltaError("set-node-size: unknown node id " + std::to_string(v));
+    if (node_removed[v])
+      throw DeltaError("set-node-size: node " + std::to_string(v) +
+                       " was removed by this delta");
+    if (node_resized[v])
+      throw DeltaError("set-node-size: node " + std::to_string(v) +
+                       " resized twice");
+    node_resized[v] = 1;
+    node_size[v] = size;
+  }
+
+  // --- Validate net edits. ---
+  std::vector<char> net_removed(m, 0);
+  for (const NetId e : delta.removed_nets) {
+    if (e >= m)
+      throw DeltaError("remove-net: unknown net id " + std::to_string(e));
+    if (net_removed[e])
+      throw DeltaError("remove-net: duplicate remove of net " +
+                       std::to_string(e));
+    net_removed[e] = 1;
+  }
+  std::vector<double> net_cap(m);
+  for (NetId e = 0; e < m; ++e) net_cap[e] = base.net_capacity(e);
+  std::vector<char> net_recapped(m, 0);
+  for (const auto& [e, capacity] : delta.net_capacity_changes) {
+    if (e >= m)
+      throw DeltaError("set-net-capacity: unknown net id " +
+                       std::to_string(e));
+    if (net_removed[e])
+      throw DeltaError("set-net-capacity: net " + std::to_string(e) +
+                       " was removed by this delta");
+    if (net_recapped[e])
+      throw DeltaError("set-net-capacity: net " + std::to_string(e) +
+                       " changed twice");
+    net_recapped[e] = 1;
+    net_cap[e] = capacity;
+  }
+
+  // --- Nodes: survivors in base order, then additions. ---
+  DeltaApplication app;
+  app.node_to_new.assign(n, kInvalidNode);
+  HypergraphBuilder builder;
+  for (NodeId v = 0; v < n; ++v)
+    if (!node_removed[v])
+      app.node_to_new[v] = builder.add_node(node_size[v], base.node_name(v));
+  for (const NetlistDelta::AddedNode& added : delta.added_nodes)
+    app.added_node_ids.push_back(builder.add_node(added.size));
+  if (builder.num_nodes() == 0)
+    throw DeltaError("delta removes every node of the netlist");
+  app.node_touched.assign(builder.num_nodes(), 0);
+
+  // Resolves a delta pin reference — a base id or an added-node id in
+  // [n, n + added) — to its edited id, rejecting delete-then-reference.
+  const auto resolve = [&](NodeId pin) -> NodeId {
+    if (pin < n) {
+      if (node_removed[pin])
+        throw DeltaError("add-net: pin references node " +
+                         std::to_string(pin) + " removed by this delta");
+      return app.node_to_new[pin];
+    }
+    const NodeId idx = pin - n;
+    if (idx >= app.added_node_ids.size())
+      throw DeltaError("add-net: unknown pin node id " + std::to_string(pin));
+    return app.added_node_ids[idx];
+  };
+
+  // --- Nets: surviving base nets in base order, then additions. Restricted
+  // pin lists keep base order, so an empty delta reproduces the base CSR
+  // (and its structural hash) exactly. ---
+  app.net_to_new.assign(m, kInvalidNet);
+  NetId next_net = 0;
+  std::vector<NodeId> pins;
+  for (NetId e = 0; e < m; ++e) {
+    if (net_removed[e]) {
+      // The survivors lose an adjacency — their blocks must re-carve.
+      for (const NodeId p : base.pins(e))
+        if (!node_removed[p]) app.node_touched[app.node_to_new[p]] = 1;
+      continue;
+    }
+    pins.clear();
+    bool lost_pin = false;
+    for (const NodeId p : base.pins(e)) {
+      if (node_removed[p])
+        lost_pin = true;
+      else
+        pins.push_back(app.node_to_new[p]);
+    }
+    if (pins.size() < 2) {
+      // Fewer than two survivors: the net degenerates and is dropped (the
+      // HypergraphBuilder contract); its orphaned pins stay as degree-0
+      // nodes per the subhypergraph.hpp contract, marked touched.
+      ++app.dropped_nets;
+      for (const NodeId q : pins) app.node_touched[q] = 1;
+      continue;
+    }
+    builder.add_net(pins, net_cap[e], base.net_name(e));
+    app.net_to_new[e] = next_net++;
+    const bool touched = lost_pin || net_recapped[e];
+    app.net_touched.push_back(touched ? 1 : 0);
+    if (touched)
+      for (const NodeId q : pins) app.node_touched[q] = 1;
+  }
+  for (const NetlistDelta::AddedNet& added : delta.added_nets) {
+    pins.clear();
+    for (const NodeId p : added.pins) pins.push_back(resolve(p));
+    std::vector<NodeId> distinct = pins;
+    std::sort(distinct.begin(), distinct.end());
+    distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                   distinct.end());
+    if (distinct.size() < 2)
+      throw DeltaError("add-net: a net needs >= 2 distinct pins");
+    builder.add_net(pins, added.capacity);
+    ++next_net;
+    app.net_touched.push_back(1);
+    for (const NodeId q : distinct) app.node_touched[q] = 1;
+  }
+
+  for (const auto& [v, size] : delta.node_size_changes)
+    app.node_touched[app.node_to_new[v]] = 1;
+  for (const NodeId id : app.added_node_ids) app.node_touched[id] = 1;
+
+  Hypergraph hg = builder.build();
+  HTP_CHECK(hg.num_nets() == next_net);
+  HTP_CHECK(app.net_touched.size() == next_net);
+  app.hg = std::make_shared<const Hypergraph>(std::move(hg));
+  return app;
+}
+
+}  // namespace htp

@@ -1,0 +1,119 @@
+// NetlistDelta: a small, diff-friendly edit script over a Hypergraph.
+//
+// Real design flows re-partition after small netlist edits (ECO). A delta
+// names the edits against a *base* netlist — add/remove nodes and nets,
+// size and capacity changes — in a text format stable enough to store next
+// to the partition it amends (docs/incremental.md):
+//
+//   htp-delta v1
+//   add-node <size>                      # new nodes number n, n+1, ... in
+//                                        # file order (n = base node count)
+//   remove-node <id>                     # base node id
+//   set-node-size <id> <size>
+//   add-net <capacity> <pin> <pin> ...   # >= 2 distinct pins; pins may name
+//                                        # base ids or just-added node ids
+//   remove-net <id>                      # base net id
+//   set-net-capacity <id> <capacity>
+//
+// '#' starts a comment; blank lines are ignored. Applying a delta produces
+// the *edited* netlist plus stable old->new id mappings and touched-set
+// marks, which is everything the warm-start machinery needs to remap a
+// converged metric and re-carve only the affected subtrees.
+//
+// The hypergraph stays immutable: ApplyDelta rebuilds through
+// HypergraphBuilder with surviving nodes/nets first (in base order, so an
+// empty delta reproduces the base graph bit for bit) and additions
+// appended. A base net that loses pins below two survivors is dropped —
+// and, per the documented `subhypergraph` contract, a node whose last net
+// was removed is KEPT at degree 0 (its size still consumes capacity).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "netlist/hypergraph.hpp"
+
+namespace htp {
+
+/// Thrown on malformed delta text (parse) and on edits that do not apply
+/// to the base netlist (unknown ids, duplicate removes, references to
+/// removed ids). Derives from htp::Error; drivers map it to exit code 2
+/// (usage) because the input file, not the run, is at fault.
+class DeltaError : public Error {
+ public:
+  explicit DeltaError(const std::string& what) : Error(what) {}
+};
+
+/// A parsed edit script. Ids refer to the base netlist; added nodes are
+/// addressed as base_count + index into `added_nodes`.
+struct NetlistDelta {
+  struct AddedNode {
+    double size = 1.0;
+  };
+  struct AddedNet {
+    double capacity = 1.0;
+    std::vector<NodeId> pins;  ///< base ids or added-node ids
+  };
+
+  std::vector<AddedNode> added_nodes;
+  std::vector<NodeId> removed_nodes;
+  std::vector<std::pair<NodeId, double>> node_size_changes;
+  std::vector<AddedNet> added_nets;
+  std::vector<NetId> removed_nets;
+  std::vector<std::pair<NetId, double>> net_capacity_changes;
+
+  bool empty() const {
+    return added_nodes.empty() && removed_nodes.empty() &&
+           node_size_changes.empty() && added_nets.empty() &&
+           removed_nets.empty() && net_capacity_changes.empty();
+  }
+};
+
+/// Parses the text format. Throws DeltaError (with a line number) on a
+/// missing/wrong header, unknown directives, truncated lines, unparsable
+/// or non-positive numbers, or an added net with fewer than two distinct
+/// pins. Id validity against a base netlist is checked by ApplyDelta.
+NetlistDelta ParseDeltaText(const std::string& text);
+
+/// Renders a delta back to the text format (round-trips through
+/// ParseDeltaText).
+std::string WriteDeltaText(const NetlistDelta& delta);
+
+/// File helpers (throw DeltaError when the file cannot be read).
+NetlistDelta ReadDeltaFile(const std::string& path);
+
+/// The edited netlist plus everything needed to carry state across the
+/// edit.
+struct DeltaApplication {
+  /// The edited hypergraph (shared so TreePartitions can outlive the
+  /// application object).
+  std::shared_ptr<const Hypergraph> hg;
+  /// base node id -> edited node id; kInvalidNode for removed nodes.
+  std::vector<NodeId> node_to_new;
+  /// base net id -> edited net id; kInvalidNet for removed nets and for
+  /// base nets dropped because fewer than two pins survived.
+  std::vector<NetId> net_to_new;
+  /// Edited ids of the delta's added nodes, in delta order.
+  std::vector<NodeId> added_node_ids;
+  /// Per *edited* net: 1 iff the delta touched it — added by the delta,
+  /// capacity changed, or at least one pin removed. Untouched nets keep
+  /// their converged metric values across the edit (warm_start.hpp).
+  std::vector<char> net_touched;
+  /// Per *edited* node: 1 iff the delta touched it — added, resized, or a
+  /// pin of any added/removed/dropped/touched net. Touched nodes mark the
+  /// hierarchy blocks the re-carver must rebuild (eco_repartition.hpp).
+  std::vector<char> node_touched;
+  /// Base nets dropped because the delta removed all but <= 1 of their
+  /// pins (distinct from explicit remove-net lines).
+  std::size_t dropped_nets = 0;
+};
+
+/// Applies `delta` to `base`. Throws DeltaError on out-of-range ids,
+/// duplicate removes, edits referencing removed ids (delete-then-
+/// reference), added nets whose pins collapse below two distinct survivors,
+/// or a delta that removes every node.
+DeltaApplication ApplyDelta(const Hypergraph& base, const NetlistDelta& delta);
+
+}  // namespace htp

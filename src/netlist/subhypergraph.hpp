@@ -27,6 +27,14 @@ struct SubHypergraph {
 /// A parent net survives iff at least two of its pins lie in `nodes`; its
 /// pins are restricted to `nodes`. Node sizes, capacities, and names carry
 /// over. Order of `nodes` defines the new node numbering.
+///
+/// Degree-0 contract: every node in `nodes` is KEPT, even when restriction
+/// (or a netlist delta that removed its last net — src/incremental/) leaves
+/// it with no incident nets. A node's positive size still consumes block
+/// capacity whether or not any net references it, so dropping it would
+/// silently under-count s(V') and let carves overfill blocks. Callers that
+/// want connectivity-pruned sets must filter before inducing. Regression:
+/// tests/netlist/subhypergraph_test.cpp ("DegreeZeroNodesAreKept").
 SubHypergraph InducedSubHypergraph(const Hypergraph& parent,
                                    std::span<const NodeId> nodes);
 

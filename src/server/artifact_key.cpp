@@ -72,7 +72,7 @@ std::uint64_t HashSpec(const HierarchySpec& spec) {
 }
 
 std::uint64_t HashInjectionParams(const FlowInjectionParams& params) {
-  std::uint64_t h = HashBytes(kFnvOffset, "htp-injection-hash-v1");
+  std::uint64_t h = HashBytes(kFnvOffset, "htp-injection-hash-v2");
   h = FoldDouble(h, params.epsilon);
   h = FoldDouble(h, params.alpha);
   h = FoldDouble(h, params.delta);
@@ -80,6 +80,13 @@ std::uint64_t HashInjectionParams(const FlowInjectionParams& params) {
   h = FoldU64(h, params.max_rounds);
   h = FoldU64(h, params.seed);
   h = FoldDouble(h, params.oracle_sample);
+  // The full warm-start seed (ECO, docs/incremental.md): every value
+  // shifts the computation it seeds, so a warm-seeded metric must never
+  // alias the cold artifact for the same (netlist, spec, seed) — folding
+  // the element count first also separates "no seed" from "all-zero seed".
+  h = FoldU64(h, params.warm_metric ? params.warm_metric->size() : 0);
+  if (params.warm_metric)
+    for (const double d : *params.warm_metric) h = FoldDouble(h, d);
   return h;
 }
 

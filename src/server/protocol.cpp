@@ -22,7 +22,8 @@ const std::set<std::string, std::less<>>& KnownRequestKeys() {
       "threads",       "metric_threads", "build_threads",
       "refine",        "multilevel",     "coarsen_threshold",
       "oracle_sample", "seed",           "deadline_ms",
-      "max_rounds",    "report",
+      "max_rounds",    "report",         "delta_text",
+      "warm_text",     "warm_from_cache", "emit_warm_state",
   };
   return keys;
 }
@@ -144,6 +145,12 @@ ServeRequest ParseServeRequest(const JsonValue& doc) {
   s.multilevel = GetBool(doc, "multilevel", false);
   s.coarsen_threshold = GetCount(doc, "coarsen_threshold", 800);
   s.oracle_sample = GetNumber(doc, "oracle_sample", 0.0);
+  // ECO members (docs/incremental.md): inline documents only — the daemon
+  // never opens request-named paths, mirroring bench_text vs bench_file.
+  s.delta_text = GetString(doc, "delta_text", "");
+  s.warm_text = GetString(doc, "warm_text", "");
+  s.warm_from_cache = GetBool(doc, "warm_from_cache", false);
+  s.emit_warm_state = GetBool(doc, "emit_warm_state", false);
   // Seeds ride a JSON number: exact up to 2^53, documented in
   // docs/file-formats.md.
   s.seed = static_cast<std::uint64_t>(GetCount(doc, "seed", 1));
@@ -226,6 +233,31 @@ std::string RenderServeResponse(const ServeRequest& request,
     w.Key("feasibility_fallbacks");
     w.Number(static_cast<std::uint64_t>(result.feasibility_fallbacks));
   }
+  if (result.eco) {
+    // ECO summary. Deterministic by construction: every field is a pure
+    // function of the request (warm_from_cache recomputes its seed through
+    // the provider rather than probing cache presence), so this object is
+    // safe inside the deterministic section.
+    w.Key("eco");
+    w.BeginObject();
+    w.Key("pre_delta_hash");
+    w.String(HexKey(result.pre_delta_hash));
+    w.Key("warm_source");
+    w.String(result.warm_source);
+    w.Key("blocks_reused");
+    w.Number(static_cast<std::uint64_t>(result.eco_blocks_reused));
+    w.Key("blocks_recarved");
+    w.Number(static_cast<std::uint64_t>(result.eco_blocks_recarved));
+    w.Key("full_rebuild");
+    w.Bool(result.eco_full_rebuild);
+    w.Key("warm_rounds");
+    w.Number(static_cast<std::uint64_t>(result.eco_warm_rounds));
+    w.Key("warm_injections");
+    w.Number(static_cast<std::uint64_t>(result.eco_warm_injections));
+    w.Key("converged");
+    w.Bool(result.eco_converged);
+    w.EndObject();
+  }
   w.Key("iterations");
   w.BeginArray();
   for (const HtpFlowIteration& it : result.iterations) {
@@ -247,6 +279,12 @@ std::string RenderServeResponse(const ServeRequest& request,
 
   w.Key("partition");
   w.String(WritePartitionText(*result.partition));
+  if (!result.warm_state.empty()) {
+    // Present iff emit_warm_state: the next run's warm-start input.
+    // Deterministic (hexfloat metric + partition text).
+    w.Key("warm_state");
+    w.String(result.warm_state);
+  }
   w.EndObject();  // deterministic
 
   w.Key("cache");

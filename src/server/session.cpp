@@ -1,5 +1,6 @@
 #include "server/session.hpp"
 
+#include <algorithm>
 #include <array>
 #include <atomic>
 #include <chrono>
@@ -8,9 +9,12 @@
 #include <utility>
 
 #include "core/cost.hpp"
+#include "core/partition_io.hpp"
 #include "core/tree_partition.hpp"
+#include "incremental/eco_repartition.hpp"
 #include "netlist/bench_parser.hpp"
 #include "netlist/generators.hpp"
+#include "netlist/rng.hpp"
 #include "obs/report.hpp"
 #include "partition/gfm.hpp"
 #include "partition/parallel_refine.hpp"
@@ -101,6 +105,55 @@ SessionResult RunSession(const SessionRequest& request, ArtifactCache* cache) {
       result.netlist_hash = artifact.structural_hash;
     }
   }
+  // --- Incremental (ECO) inputs: parse the delta and warm state, apply
+  // the delta to the resolved base netlist. The request's netlist source
+  // always names the PRE-delta base; the run partitions the edited
+  // result (docs/incremental.md). ---
+  if (!request.delta_text.empty() && !request.delta_file.empty())
+    throw Error("session: delta_text and delta_file are mutually exclusive");
+  if (!request.warm_text.empty() && !request.warm_file.empty())
+    throw Error("session: warm_text and warm_file are mutually exclusive");
+  const bool have_warm_state =
+      !request.warm_text.empty() || !request.warm_file.empty();
+  if (request.warm_from_cache && have_warm_state)
+    throw Error(
+        "session: warm_from_cache excludes an explicit warm-start state");
+  const bool have_delta =
+      !request.delta_text.empty() || !request.delta_file.empty();
+  // A warm source without a delta is the empty-delta resume: the delta
+  // application below degenerates to an identity rebuild of the base.
+  NetlistDelta delta;
+  if (!request.delta_file.empty())
+    delta = ReadDeltaFile(request.delta_file);
+  else if (!request.delta_text.empty())
+    delta = ParseDeltaText(request.delta_text);
+  std::optional<WarmStartState> warm_state;
+  if (!request.warm_file.empty())
+    warm_state = ReadWarmStartFile(request.warm_file);
+  else if (!request.warm_text.empty())
+    warm_state = ParseWarmStartText(request.warm_text);
+
+  const bool eco_mode =
+      have_delta || have_warm_state || request.warm_from_cache;
+  if ((eco_mode || request.emit_warm_state) &&
+      (request.algo != "flow" && request.algo != "flow-mst"))
+    throw Error(
+        "session: delta/warm-start/emit_warm_state require --algo flow "
+        "or flow-mst");
+  if ((eco_mode || request.emit_warm_state) && request.multilevel)
+    throw Error(
+        "session: delta/warm-start/emit_warm_state cannot combine with "
+        "--multilevel");
+  std::shared_ptr<const Hypergraph> base;
+  std::optional<DeltaApplication> app;
+  if (eco_mode) {
+    base = result.netlist;
+    result.eco = true;
+    result.pre_delta_hash = result.netlist_hash;
+    app.emplace(ApplyDelta(*base, delta));
+    result.netlist = app->hg;
+    result.netlist_hash = HashNetlist(*app->hg);
+  }
   const Hypergraph& hg = *result.netlist;
 
   const std::vector<double> weights =
@@ -108,8 +161,13 @@ SessionResult RunSession(const SessionRequest& request, ArtifactCache* cache) {
                               : request.weights;
   if (weights.size() != request.height)
     throw Error("session: weights must carry exactly `height` values");
-  result.spec = UniformHierarchy(hg.total_size(), request.height,
-                                 request.branching, request.slack, weights);
+  // With a delta the spec is still derived from the PRE-delta total: the
+  // hierarchy is the physical target an ECO edits into, not a function of
+  // the edited netlist (a delta that outgrows it fails validation).
+  result.spec =
+      UniformHierarchy(base ? base->total_size() : hg.total_size(),
+                       request.height, request.branching, request.slack,
+                       weights);
   const HierarchySpec& spec = result.spec;
 
   // The deadline is armed once, here, and shared by every stage below —
@@ -125,10 +183,14 @@ SessionResult RunSession(const SessionRequest& request, ArtifactCache* cache) {
 
   TreePartition tp(hg, 0);
   auto provider_stats = std::make_shared<ProviderStats>();
+  // Converged metric retained for request.emit_warm_state (set on every
+  // path that can emit: plain flow via keep_best_metric, ECO directly).
+  std::optional<SpreadingMetric> emit_metric;
   if (request.algo == "flow" || request.algo == "flow-mst") {
     HtpFlowParams params;
     params.iterations = request.iterations;
     params.seed = request.seed;
+    params.keep_best_metric = request.emit_warm_state;
     params.collect_report = request.collect_report;
     params.threads = request.threads;
     params.metric_threads = request.metric_threads;
@@ -185,13 +247,69 @@ SessionResult RunSession(const SessionRequest& request, ArtifactCache* cache) {
       result.stop_reason = ml_result.stop_reason;
       result.report = std::move(ml_result.report);
       tp = std::move(ml_result.partition);
+    } else if (warm_state) {
+      // Full ECO: warm metric re-convergence plus delta-scoped re-carving,
+      // cloning the prior partition's untouched root subtrees.
+      CheckWarmStartMatches(*warm_state, *base);
+      const TreePartition old_tp =
+          ReadPartitionText(*base, warm_state->partition_text);
+      const SpreadingMetric warm = RemapWarmMetric(*warm_state, *app);
+      EcoParams eco;
+      eco.flow = params;
+      EcoResult er = RunEcoRepartition(*app, spec, old_tp, warm, eco);
+      result.warm_source = "state";
+      result.eco_blocks_reused = er.blocks_reused;
+      result.eco_blocks_recarved = er.blocks_recarved;
+      result.eco_full_rebuild = er.full_rebuild;
+      result.eco_warm_rounds = er.warm_rounds;
+      result.eco_warm_injections = er.warm_injections;
+      result.eco_converged = er.metric_converged;
+      if (er.metric_cancelled) {
+        result.completed = false;
+        result.stop_reason = request.cancel.Cancelled()
+                                 ? StopReason::kCancelled
+                                 : StopReason::kDeadline;
+      }
+      tp = std::move(er.partition);
+      if (request.emit_warm_state) emit_metric = std::move(er.metric);
     } else {
+      if (request.warm_from_cache) {
+        // Metric-cache interop: recompute the PRE-delta iteration-0
+        // converged metric through the provider — with a warm cache this
+        // is a hit on the exact entry the prior cold run stored (same
+        // key: pre-delta hash x spec x injection params). Deliberately an
+        // inert token and deterministic caps only, so the seed — and with
+        // it the deterministic response section — is a pure function of
+        // the request, never of cache state.
+        FlowInjectionParams pre = params.injection;
+        if (request.budget.max_rounds > 0)
+          pre.max_rounds = std::min(pre.max_rounds, request.budget.max_rounds);
+        pre.seed = Rng(request.seed).fork(0).next_u64();
+        pre.threads = request.metric_threads;
+        const FlowInjectionResult pre_metric =
+            params.metric_compute
+                ? params.metric_compute(*base, spec, pre)
+                : ComputeSpreadingMetric(*base, spec, pre);
+        params.injection.warm_metric = std::make_shared<const SpreadingMetric>(
+            RemapWarmMetric(pre_metric.metric, *app));
+        result.warm_source = "cache";
+      }
       HtpFlowResult flow_result = RunHtpFlow(hg, spec, params);
       result.completed = flow_result.completed;
       result.stop_reason = flow_result.stop_reason;
       result.iterations = std::move(flow_result.iterations);
       result.report = std::move(flow_result.report);
       tp = std::move(flow_result.partition);
+      if (request.emit_warm_state)
+        emit_metric = std::move(flow_result.best_metric);
+      if (result.eco) {
+        // No prior partition to stitch from on this path.
+        result.eco_full_rebuild = true;
+        if (!result.iterations.empty()) {
+          result.eco_warm_injections = result.iterations[0].injections;
+          result.eco_converged = result.iterations[0].metric_converged;
+        }
+      }
     }
   } else if (request.algo == "rfm") {
     RfmParams rfm_params;
@@ -221,6 +339,13 @@ SessionResult RunSession(const SessionRequest& request, ArtifactCache* cache) {
   }
   RequireValidPartition(tp, spec);
   result.partition = std::move(tp);
+
+  if (request.emit_warm_state) {
+    HTP_CHECK_MSG(emit_metric.has_value(),
+                  "emit_warm_state: no converged metric on this path");
+    result.warm_state = WriteWarmStartText(MakeWarmStartState(
+        hg, *emit_metric, *result.partition, request.seed));
+  }
 
   // rfm/gfm runs assemble a driver-level report so collect_report always
   // yields a valid artifact (the flow pipelines build their own richer

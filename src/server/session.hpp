@@ -57,6 +57,36 @@ struct SessionRequest {
   bool multilevel = false;
   std::size_t coarsen_threshold = 800;
   double oracle_sample = 0.0;
+  /// Incremental (ECO) repartitioning inputs (docs/incremental.md).
+  /// `delta_text` is an inline "htp-delta v1" document, `delta_file` a path
+  /// read up-front (mutually exclusive). The delta applies to the resolved
+  /// netlist (the PRE-delta base); the run partitions the edited result,
+  /// but the hierarchy spec is still built from the base's total size —
+  /// the hierarchy is the physical target an ECO edits into. Requires
+  /// algo flow/flow-mst and excludes multilevel.
+  std::string delta_text;
+  std::string delta_file;
+  /// Prior-run warm-start state ("htp-warm-start v1"), inline or a path
+  /// (mutually exclusive). Must match the PRE-delta netlist. When present,
+  /// the prior metric is remapped through the delta and the run goes
+  /// through RunEcoRepartition: Algorithm 2 resumes injection and the
+  /// prior partition's untouched root subtrees are cloned. Without a
+  /// delta, this is the empty-delta resume (bit-identical to the run that
+  /// produced the state).
+  std::string warm_text;
+  std::string warm_file;
+  /// Derive the warm metric from the metric-cache interop instead of a
+  /// state file: the PRE-delta iteration-0 converged metric is recomputed
+  /// through the metric provider — a pure function of this request, so the
+  /// deterministic response section never depends on cache state; with a
+  /// warm cache it is served as a hit keyed by the pre-delta hash. No
+  /// prior partition is available, so construction runs in full (the
+  /// remapped metric seeds a plain flow run). Excludes warm_text/warm_file.
+  bool warm_from_cache = false;
+  /// Serialize the run's winning converged metric plus the FINAL
+  /// (post-refine) partition into SessionResult::warm_state — the next
+  /// run's warm-start input. Requires algo flow/flow-mst, no multilevel.
+  bool emit_warm_state = false;
   std::uint64_t seed = 1;
   /// Armed once at the top of RunSession and shared by every stage, like
   /// htp_cli's --time-budget / --max-rounds.
@@ -109,6 +139,23 @@ struct SessionResult {
 
   bool refined = false;
   HtpFmStats fm;  ///< valid iff `refined`
+
+  /// ECO extras, populated iff `eco` (a delta or warm source was given).
+  /// All of them are deterministic — pure functions of the request.
+  bool eco = false;
+  /// Structural hash of the PRE-delta netlist (the metric-cache interop
+  /// key component; `netlist_hash` above is the post-delta hash).
+  std::uint64_t pre_delta_hash = 0;
+  std::string warm_source = "none";  ///< "state" | "cache" | "none"
+  std::size_t eco_blocks_reused = 0;
+  std::size_t eco_blocks_recarved = 0;
+  bool eco_full_rebuild = false;
+  std::size_t eco_warm_rounds = 0;
+  std::size_t eco_warm_injections = 0;
+  bool eco_converged = false;
+
+  /// "htp-warm-start v1" document, populated iff request.emit_warm_state.
+  std::string warm_state;
 
   std::string report;  ///< RunReport JSON, iff collect_report
   SessionCacheOutcome cache;

@@ -27,6 +27,8 @@
 
 #include "core/dot_export.hpp"
 #include "core/partition_io.hpp"
+#include "incremental/netlist_delta.hpp"
+#include "incremental/warm_start.hpp"
 #include "obs/obs.hpp"
 #include "obs/report.hpp"
 #include "obs/sinks.hpp"
@@ -94,6 +96,21 @@ void Usage(const char* argv0) {
                "                     per metric (0 or 1 = exact, the "
                "default)\n"
                "  --refine           apply generalized FM afterwards\n"
+               "  --delta FILE       htp-delta v1 netlist edit applied to "
+               "the\n"
+               "                     resolved netlist before partitioning "
+               "(ECO;\n"
+               "                     flow algos only, see "
+               "docs/incremental.md)\n"
+               "  --warm-start FILE  htp-warm-start v1 state of a prior "
+               "run;\n"
+               "                     resumes flow injection and clones the "
+               "prior\n"
+               "                     partition's untouched root subtrees\n"
+               "  --warm-out FILE    write this run's warm-start state "
+               "(metric +\n"
+               "                     final partition) for the next ECO "
+               "run\n"
                "  --seed S           random seed (default 1)\n"
                "  --out FILE         write the partition (default stdout "
                "summary only)\n"
@@ -139,6 +156,7 @@ int main(int argc, char** argv) {
   serve::SessionRequest request;
   request.circuit = "c1355";
   std::string out_file;
+  std::string warm_out_file;
   std::string dot_file, trace_file, stats_file, report_file, jsonl_file;
   std::string weights_csv;
   bool stats = false;
@@ -190,6 +208,12 @@ int main(int argc, char** argv) {
       else if (std::strncmp(argv[i], "--stats=", 8) == 0) {
         stats = true;
         stats_file = argv[i] + 8;
+      }
+      else if (arg("--delta")) request.delta_file = argv[++i];
+      else if (arg("--warm-start")) request.warm_file = argv[++i];
+      else if (arg("--warm-out")) {
+        warm_out_file = argv[++i];
+        request.emit_warm_state = true;
       }
       else if (std::strcmp(argv[i], "--refine") == 0) request.refine = true;
       else if (std::strcmp(argv[i], "--help") == 0) { Usage(argv[0]); return 0; }
@@ -270,6 +294,15 @@ int main(int argc, char** argv) {
                     request.iterations);
       }
     }
+    if (run.eco) {
+      std::printf(
+          "eco: warm=%s, %zu blocks reused, %zu re-carved%s, "
+          "warm injections %zu%s\n",
+          run.warm_source.c_str(), run.eco_blocks_reused,
+          run.eco_blocks_recarved, run.eco_full_rebuild ? " (full rebuild)" : "",
+          run.eco_warm_injections,
+          run.eco_converged ? "" : " (metric not converged)");
+    }
     std::printf("%s cost: %.0f\n", request.algo.c_str(), run.cost);
 
     if (run.refined) {
@@ -281,6 +314,12 @@ int main(int argc, char** argv) {
     if (!out_file.empty()) {
       WritePartitionFile(*run.partition, out_file);
       std::printf("partition written to %s\n", out_file.c_str());
+    }
+    if (!warm_out_file.empty()) {
+      std::ofstream warm(warm_out_file, std::ios::binary);
+      if (!warm) throw Error("cannot open for writing: " + warm_out_file);
+      warm << run.warm_state;
+      std::printf("warm-start state written to %s\n", warm_out_file.c_str());
     }
     if (!dot_file.empty()) {
       std::ofstream dot(dot_file);
@@ -322,6 +361,17 @@ int main(int argc, char** argv) {
         std::printf("stats report written to %s\n", stats_file.c_str());
       }
     }
+  } catch (const DeltaError& e) {
+    // Malformed --delta / --warm-start input is a usage error, like
+    // malformed numeric flags: exit 2 with the usage text
+    // (docs/incremental.md; enforced by the WILL_FAIL CLI smokes).
+    std::fprintf(stderr, "error: %s\n", e.what());
+    Usage(argv[0]);
+    return 2;
+  } catch (const WarmStartError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    Usage(argv[0]);
+    return 2;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

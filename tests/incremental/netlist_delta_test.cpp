@@ -1,0 +1,183 @@
+// NetlistDelta: text round-trip, application semantics (mappings, touched
+// marks, net dropping, degree-0 keep), and the empty-delta identity the
+// warm-start machinery builds on (docs/incremental.md).
+#include "incremental/netlist_delta.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "test_util.hpp"
+
+namespace htp {
+namespace {
+
+// 6 nodes, 4 nets — the subhypergraph_test sample, so the two files probe
+// the same degree-0 contract from both sides.
+Hypergraph Sample() {
+  HypergraphBuilder builder;
+  for (int i = 0; i < 6; ++i) builder.add_node(1.0 + i);
+  builder.add_net({0u, 1u, 2u}, 2.0, "abc");
+  builder.add_net({2u, 3u}, 1.0, "cd");
+  builder.add_net({3u, 4u, 5u}, 3.0, "def");
+  builder.add_net({0u, 5u}, 1.5, "af");
+  return builder.build();
+}
+
+TEST(DeltaText, RoundTripsThroughWrite) {
+  NetlistDelta delta;
+  delta.added_nodes.push_back({2.5});
+  delta.added_nodes.push_back({1.0});
+  delta.removed_nodes.push_back(4);
+  delta.node_size_changes.emplace_back(1, 3.25);
+  delta.added_nets.push_back({0.75, {0, 6, 7}});
+  delta.removed_nets.push_back(2);
+  delta.net_capacity_changes.emplace_back(0, 4.0);
+
+  const NetlistDelta reparsed = ParseDeltaText(WriteDeltaText(delta));
+  EXPECT_EQ(WriteDeltaText(reparsed), WriteDeltaText(delta));
+  EXPECT_EQ(reparsed.added_nodes.size(), 2u);
+  EXPECT_DOUBLE_EQ(reparsed.added_nodes[0].size, 2.5);
+  ASSERT_EQ(reparsed.added_nets.size(), 1u);
+  EXPECT_EQ(reparsed.added_nets[0].pins, (std::vector<NodeId>{0, 6, 7}));
+}
+
+TEST(DeltaText, CommentsAndBlankLinesIgnored) {
+  const NetlistDelta delta = ParseDeltaText(
+      "htp-delta v1\n"
+      "# a comment\n"
+      "\n"
+      "remove-net 1   # trailing comment\n");
+  EXPECT_EQ(delta.removed_nets, (std::vector<NetId>{1}));
+  EXPECT_TRUE(ParseDeltaText("htp-delta v1\n").empty());
+}
+
+TEST(ApplyDelta, EmptyDeltaReproducesBaseBitForBit) {
+  const Hypergraph base = Sample();
+  const DeltaApplication app = ApplyDelta(base, NetlistDelta{});
+  const Hypergraph& hg = *app.hg;
+  ASSERT_EQ(hg.num_nodes(), base.num_nodes());
+  ASSERT_EQ(hg.num_nets(), base.num_nets());
+  ASSERT_EQ(hg.num_pins(), base.num_pins());
+  for (NodeId v = 0; v < base.num_nodes(); ++v) {
+    EXPECT_EQ(app.node_to_new[v], v);
+    EXPECT_EQ(hg.node_size(v), base.node_size(v));
+    EXPECT_FALSE(app.node_touched[v]);
+  }
+  for (NetId e = 0; e < base.num_nets(); ++e) {
+    EXPECT_EQ(app.net_to_new[e], e);
+    EXPECT_EQ(hg.net_capacity(e), base.net_capacity(e));
+    EXPECT_FALSE(app.net_touched[e]);
+    const auto base_pins = base.pins(e);
+    const auto pins = hg.pins(e);
+    ASSERT_EQ(pins.size(), base_pins.size());
+    for (std::size_t i = 0; i < pins.size(); ++i)
+      EXPECT_EQ(pins[i], base_pins[i]);
+  }
+  EXPECT_EQ(app.dropped_nets, 0u);
+}
+
+TEST(ApplyDelta, RemoveNodeCompactsAndMarksTouched) {
+  const Hypergraph base = Sample();
+  NetlistDelta delta;
+  delta.removed_nodes.push_back(2);  // pins of nets "abc" and "cd"
+  const DeltaApplication app = ApplyDelta(base, delta);
+  const Hypergraph& hg = *app.hg;
+
+  ASSERT_EQ(hg.num_nodes(), 5u);
+  EXPECT_EQ(app.node_to_new[2], kInvalidNode);
+  EXPECT_EQ(app.node_to_new[3], 2u);  // survivors keep base order
+  // Net "abc" survives as {0,1}; net "cd" drops to one pin.
+  EXPECT_NE(app.net_to_new[0], kInvalidNet);
+  EXPECT_EQ(app.net_to_new[1], kInvalidNet);
+  EXPECT_EQ(app.dropped_nets, 1u);
+  EXPECT_TRUE(app.net_touched[app.net_to_new[0]]);
+  // Node 3 lost its "cd" net: touched. Node 4 only pins "def": untouched.
+  EXPECT_TRUE(app.node_touched[app.node_to_new[3]]);
+  EXPECT_FALSE(app.node_touched[app.node_to_new[4]]);
+  // Node 3 is KEPT even though "cd" was its... (it still pins "def"); the
+  // degree-0 variant is its own test below.
+}
+
+TEST(ApplyDelta, DegreeZeroNodesAreKept) {
+  // Removing a node's last net must keep the node (size still consumes
+  // capacity) — the same KEEP contract InducedSubHypergraph documents.
+  HypergraphBuilder builder;
+  builder.add_node(1.0);
+  builder.add_node(2.0);
+  builder.add_node(4.0);
+  builder.add_net({0u, 1u}, 1.0);
+  builder.add_net({1u, 2u}, 1.0);
+  const Hypergraph base = builder.build();
+
+  NetlistDelta delta;
+  delta.removed_nets.push_back(1);  // node 2's only net
+  const DeltaApplication app = ApplyDelta(base, delta);
+  ASSERT_EQ(app.hg->num_nodes(), 3u);
+  EXPECT_EQ(app.node_to_new[2], 2u);
+  EXPECT_DOUBLE_EQ(app.hg->node_size(2), 4.0);
+  EXPECT_EQ(app.hg->nets(2).size(), 0u);
+  EXPECT_TRUE(app.node_touched[2]);  // it lost a pin
+  EXPECT_DOUBLE_EQ(app.hg->total_size(), base.total_size());
+}
+
+TEST(ApplyDelta, AddNodeAndNetNumbering) {
+  const Hypergraph base = Sample();
+  NetlistDelta delta;
+  delta.added_nodes.push_back({2.0});
+  delta.added_nodes.push_back({3.0});
+  // Pins mix base ids and added ids (6 = first added, 7 = second).
+  delta.added_nets.push_back({1.25, {1, 6, 7}});
+  const DeltaApplication app = ApplyDelta(base, delta);
+  const Hypergraph& hg = *app.hg;
+
+  ASSERT_EQ(hg.num_nodes(), 8u);
+  EXPECT_EQ(app.added_node_ids, (std::vector<NodeId>{6, 7}));
+  EXPECT_DOUBLE_EQ(hg.node_size(6), 2.0);
+  EXPECT_DOUBLE_EQ(hg.node_size(7), 3.0);
+  ASSERT_EQ(hg.num_nets(), 5u);
+  EXPECT_DOUBLE_EQ(hg.net_capacity(4), 1.25);
+  EXPECT_TRUE(app.net_touched[4]);
+  EXPECT_TRUE(app.node_touched[6]);
+  EXPECT_TRUE(app.node_touched[7]);
+  EXPECT_TRUE(app.node_touched[1]);  // pins an added net
+  EXPECT_FALSE(app.node_touched[4]);
+}
+
+TEST(ApplyDelta, CapacityAndSizeChangesMarkTouched) {
+  const Hypergraph base = Sample();
+  NetlistDelta delta;
+  delta.net_capacity_changes.emplace_back(2, 9.0);
+  delta.node_size_changes.emplace_back(1, 0.5);
+  const DeltaApplication app = ApplyDelta(base, delta);
+  EXPECT_DOUBLE_EQ(app.hg->net_capacity(2), 9.0);
+  EXPECT_DOUBLE_EQ(app.hg->node_size(1), 0.5);
+  EXPECT_TRUE(app.net_touched[2]);
+  EXPECT_TRUE(app.node_touched[1]);
+  EXPECT_FALSE(app.net_touched[0]);
+  // Pins of the recapped net are touched (their metric environment moved).
+  EXPECT_TRUE(app.node_touched[3]);
+  EXPECT_TRUE(app.node_touched[4]);
+  EXPECT_TRUE(app.node_touched[5]);
+  EXPECT_FALSE(app.node_touched[0]);
+}
+
+TEST(ApplyDelta, RandomizedEmptyDeltaIdentity) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const Hypergraph base =
+        testutil::RandomConnectedHypergraph(40, 50, 5, seed);
+    const DeltaApplication app = ApplyDelta(base, NetlistDelta{});
+    ASSERT_EQ(app.hg->num_nodes(), base.num_nodes());
+    ASSERT_EQ(app.hg->num_nets(), base.num_nets());
+    ASSERT_EQ(app.hg->num_pins(), base.num_pins());
+    for (NetId e = 0; e < base.num_nets(); ++e) {
+      const auto a = app.hg->pins(e);
+      const auto b = base.pins(e);
+      ASSERT_EQ(a.size(), b.size());
+      for (std::size_t i = 0; i < a.size(); ++i) ASSERT_EQ(a[i], b[i]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace htp

@@ -38,6 +38,25 @@ TEST(InducedSubHypergraph, KeepsOnlyInteriorNets) {
   }
 }
 
+TEST(InducedSubHypergraph, DegreeZeroNodesAreKept) {
+  // The KEEP contract (subhypergraph.hpp): a selected node whose every net
+  // falls below two interior pins stays in the subhypergraph at degree 0 —
+  // its size still consumes block capacity. tests/incremental probes the
+  // same contract from the ApplyDelta side.
+  Hypergraph hg = Sample();
+  // Node 4 pins only "def"; restricted to {3,4} that net keeps 2 pins, but
+  // restricted to {1,4} every net drops below 2 interior pins for node 4.
+  const std::vector<NodeId> keep{1, 4};
+  SubHypergraph sub = InducedSubHypergraph(hg, keep);
+  ASSERT_EQ(sub.hg.num_nodes(), 2u);
+  EXPECT_EQ(sub.hg.num_nets(), 0u);
+  EXPECT_EQ(sub.hg.nets(0).size(), 0u);
+  EXPECT_EQ(sub.hg.nets(1).size(), 0u);
+  EXPECT_DOUBLE_EQ(sub.hg.node_size(0), hg.node_size(1));
+  EXPECT_DOUBLE_EQ(sub.hg.node_size(1), hg.node_size(4));
+  EXPECT_DOUBLE_EQ(sub.hg.total_size(), hg.node_size(1) + hg.node_size(4));
+}
+
 TEST(InducedSubHypergraph, RejectsDuplicates) {
   Hypergraph hg = Sample();
   const std::vector<NodeId> twice{0, 0};
